@@ -1,0 +1,252 @@
+//! Threaded runtime: one OS thread per agent.
+//!
+//! Each agent owns a crossbeam mailbox; senders are shared through a
+//! routing table so any agent (or the outside world, via
+//! [`RuntimeHandle`]) can address any other by name. Shutdown is
+//! cooperative: a control message closes each mailbox after the
+//! messages already queued have been handled.
+
+use crate::{validate_name, Agent, Context};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use spa_types::{Result, SpaError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Control<M> {
+    User(String /* from */, M),
+    Stop,
+}
+
+struct Router<M> {
+    routes: HashMap<String, Sender<Control<M>>>,
+    dead_letters: Mutex<Vec<(String, String)>>,
+    delivered: AtomicU64,
+}
+
+impl<M> Router<M> {
+    fn send(&self, from: &str, to: &str, msg: M) {
+        match self.routes.get(to) {
+            Some(tx) => {
+                if tx.send(Control::User(from.to_owned(), msg)).is_ok() {
+                    self.delivered.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.dead_letters.lock().push((from.to_owned(), to.to_owned()));
+                }
+            }
+            None => self.dead_letters.lock().push((from.to_owned(), to.to_owned())),
+        }
+    }
+}
+
+type NamedAgent<M> = (String, Box<dyn Agent<M>>);
+
+/// Builder + owner of the agent threads.
+pub struct ThreadedRuntime<M: Send + 'static> {
+    pending: Vec<NamedAgent<M>>,
+}
+
+impl<M: Send + 'static> Default for ThreadedRuntime<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Send + 'static> ThreadedRuntime<M> {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self { pending: Vec::new() }
+    }
+
+    /// Registers an agent to run on its own thread.
+    pub fn register(&mut self, name: impl Into<String>, agent: Box<dyn Agent<M>>) -> Result<()> {
+        let name = name.into();
+        validate_name(&name)?;
+        if self.pending.iter().any(|(n, _)| *n == name) {
+            return Err(SpaError::Invalid(format!("agent {name:?} already registered")));
+        }
+        self.pending.push((name, agent));
+        Ok(())
+    }
+
+    /// Spawns every agent thread and returns a handle for interaction.
+    pub fn start(self) -> RuntimeHandle<M> {
+        let mut routes = HashMap::new();
+        type Registered<M> = (String, Box<dyn Agent<M>>, Receiver<Control<M>>);
+        let mut receivers: Vec<Registered<M>> = Vec::new();
+        for (name, agent) in self.pending {
+            let (tx, rx) = unbounded();
+            routes.insert(name.clone(), tx);
+            receivers.push((name, agent, rx));
+        }
+        let router = Arc::new(Router {
+            routes,
+            dead_letters: Mutex::new(Vec::new()),
+            delivered: AtomicU64::new(0),
+        });
+        let mut handles = Vec::new();
+        for (name, mut agent, rx) in receivers {
+            let router = Arc::clone(&router);
+            handles.push(std::thread::spawn(move || {
+                let mut ctx = Context::new(&name);
+                agent.on_start(&mut ctx);
+                for (to, msg) in ctx.drain() {
+                    router.send(&name, &to, msg);
+                }
+                while let Ok(control) = rx.recv() {
+                    match control {
+                        Control::User(_from, msg) => {
+                            let mut ctx = Context::new(&name);
+                            agent.handle(msg, &mut ctx);
+                            for (to, out) in ctx.drain() {
+                                router.send(&name, &to, out);
+                            }
+                        }
+                        Control::Stop => break,
+                    }
+                }
+            }));
+        }
+        RuntimeHandle { router, handles }
+    }
+}
+
+/// Handle to a running [`ThreadedRuntime`].
+pub struct RuntimeHandle<M: Send + 'static> {
+    router: Arc<Router<M>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<M: Send + 'static> RuntimeHandle<M> {
+    /// Sends a message from the outside world.
+    pub fn post(&self, to: &str, msg: M) {
+        self.router.send("<external>", to, msg);
+    }
+
+    /// Count of successfully routed messages.
+    pub fn delivered(&self) -> u64 {
+        self.router.delivered.load(Ordering::Relaxed)
+    }
+
+    /// `(from, to)` pairs of messages that could not be routed.
+    pub fn dead_letters(&self) -> Vec<(String, String)> {
+        self.router.dead_letters.lock().clone()
+    }
+
+    /// Asks every agent to stop after draining its queued messages,
+    /// then joins the threads.
+    pub fn shutdown(mut self) {
+        for tx in self.router.routes.values() {
+            let _ = tx.send(Control::Stop);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct Counter {
+        hits: Arc<AtomicUsize>,
+        forward_to: Option<String>,
+    }
+
+    impl Agent<u64> for Counter {
+        fn handle(&mut self, msg: u64, ctx: &mut Context<u64>) {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+            if let Some(next) = &self.forward_to {
+                if msg > 0 {
+                    ctx.send(next.clone(), msg - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn messages_flow_between_threads() {
+        let hits_a = Arc::new(AtomicUsize::new(0));
+        let hits_b = Arc::new(AtomicUsize::new(0));
+        let mut rt = ThreadedRuntime::new();
+        rt.register("a", Box::new(Counter { hits: hits_a.clone(), forward_to: Some("b".into()) }))
+            .unwrap();
+        rt.register("b", Box::new(Counter { hits: hits_b.clone(), forward_to: Some("a".into()) }))
+            .unwrap();
+        let handle = rt.start();
+        handle.post("a", 9); // a,b alternate for 10 messages total
+        // wait for quiescence
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while hits_a.load(Ordering::SeqCst) + hits_b.load(Ordering::SeqCst) < 10 {
+            assert!(std::time::Instant::now() < deadline, "timed out waiting for messages");
+            std::thread::yield_now();
+        }
+        handle.shutdown();
+        assert_eq!(hits_a.load(Ordering::SeqCst), 5);
+        assert_eq!(hits_b.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn unknown_recipients_are_recorded() {
+        let mut rt: ThreadedRuntime<u64> = ThreadedRuntime::new();
+        rt.register(
+            "only",
+            Box::new(Counter { hits: Arc::new(AtomicUsize::new(0)), forward_to: None }),
+        )
+        .unwrap();
+        let handle = rt.start();
+        handle.post("missing", 1);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while handle.dead_letters().is_empty() {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        assert_eq!(handle.dead_letters()[0], ("<external>".to_string(), "missing".to_string()));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_messages() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut rt = ThreadedRuntime::new();
+        rt.register("c", Box::new(Counter { hits: hits.clone(), forward_to: None })).unwrap();
+        let handle = rt.start();
+        for _ in 0..100 {
+            handle.post("c", 0);
+        }
+        handle.shutdown();
+        assert_eq!(hits.load(Ordering::SeqCst), 100, "stop must come after queued mail");
+    }
+
+    #[test]
+    fn registration_validates_names() {
+        let mut rt: ThreadedRuntime<u64> = ThreadedRuntime::new();
+        let mk = || Box::new(Counter { hits: Arc::new(AtomicUsize::new(0)), forward_to: None });
+        rt.register("a", mk()).unwrap();
+        assert!(rt.register("a", mk()).is_err());
+        assert!(rt.register("", mk()).is_err());
+        rt.start().shutdown();
+    }
+
+    #[test]
+    fn delivered_counter_counts_routed_messages() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut rt = ThreadedRuntime::new();
+        rt.register("c", Box::new(Counter { hits: hits.clone(), forward_to: None })).unwrap();
+        let handle = rt.start();
+        for _ in 0..7 {
+            handle.post("c", 0);
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while hits.load(Ordering::SeqCst) < 7 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        assert_eq!(handle.delivered(), 7);
+        handle.shutdown();
+    }
+}

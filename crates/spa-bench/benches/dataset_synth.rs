@@ -1,0 +1,84 @@
+//! §5.1 bench (E5): regenerates the dataset inventory and times the
+//! synthetic substrate — population generation, WebLog streaming, and
+//! observed-feature extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spa_bench::BENCH_USERS;
+use spa_synth::catalog::{ActionCatalog, CourseCatalog};
+use spa_synth::weblog::{generate_weblogs, WeblogConfig};
+use spa_synth::{Population, PopulationConfig};
+use spa_types::UserId;
+use std::hint::black_box;
+
+fn regenerate_stats() {
+    let population = Population::generate(PopulationConfig {
+        n_users: BENCH_USERS,
+        ..Default::default()
+    })
+    .unwrap();
+    let actions = ActionCatalog::emagister();
+    let courses = CourseCatalog::generate(100, 12, 5).unwrap();
+    let mut events = 0u64;
+    let stats =
+        generate_weblogs(&population, &actions, &courses, &WeblogConfig::default(), |_| {
+            events += 1
+        })
+        .unwrap();
+    println!("\n=== regenerated §5.1 inventory at {BENCH_USERS} users ===");
+    println!("attributes 75, actions {}, emotional 10", actions.len());
+    println!(
+        "weblog events {} ({} transactions), ≈{:.1} MB/month raw",
+        stats.events,
+        stats.transactions,
+        stats.estimated_bytes_per_month as f64 / (1024.0 * 1024.0)
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate_stats();
+
+    let mut group = c.benchmark_group("dataset");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BENCH_USERS as u64));
+    group.bench_function("population_generate", |b| {
+        b.iter(|| {
+            black_box(
+                Population::generate(PopulationConfig {
+                    n_users: BENCH_USERS,
+                    ..Default::default()
+                })
+                .unwrap()
+                .len(),
+            )
+        })
+    });
+
+    let population = Population::generate(PopulationConfig {
+        n_users: BENCH_USERS,
+        ..Default::default()
+    })
+    .unwrap();
+    let actions = ActionCatalog::emagister();
+    let courses = CourseCatalog::generate(100, 12, 5).unwrap();
+    group.bench_function("weblog_generation", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            generate_weblogs(&population, &actions, &courses, &WeblogConfig::default(), |_| {
+                n += 1
+            })
+            .unwrap();
+            black_box(n)
+        })
+    });
+    group.finish();
+
+    let mut row_group = c.benchmark_group("dataset");
+    row_group.bench_function("observed_feature_row", |b| {
+        let mask = [true; 10];
+        b.iter(|| black_box(population.observed_row(UserId::new(7), &mask, 1).unwrap().nnz()))
+    });
+    row_group.finish();
+}
+
+criterion_group!(dataset, benches);
+criterion_main!(dataset);

@@ -1,0 +1,55 @@
+//! Fig 5 bench: regenerates the three message-individualization cases
+//! and times the Messaging Agent's assignment pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spa_core::messaging::{MessageCatalog, MessagePolicy, MessagingAgent};
+use spa_types::EmotionalAttribute::*;
+use std::hint::black_box;
+
+fn regenerate_fig5() {
+    let catalog = MessageCatalog::standard_catalog("the course");
+    println!("\n=== regenerated Fig 5 ===");
+    let a = MessagingAgent::new(catalog.clone(), MessagePolicy::MaxSensibility);
+    let fig5a = a.assign(&[Enthusiastic, Impatient], &[(Enthusiastic, 0.95)]).unwrap();
+    println!("(a) [{:?}] {}", fig5a.case, fig5a.text);
+    let p = MessagingAgent::new(catalog.clone(), MessagePolicy::Priority);
+    let fig5b = p
+        .assign(
+            &[Lively, Stimulated, Shy, Frightened],
+            &[(Frightened, 0.99), (Shy, 0.92), (Stimulated, 0.85), (Lively, 0.80)],
+        )
+        .unwrap();
+    println!("(b) [{:?}] matches {:?}", fig5b.case, fig5b.matches);
+    let fig5c = a.assign(&[Motivated, Hopeful], &[(Hopeful, 0.92), (Motivated, 0.74)]).unwrap();
+    println!("(c) [{:?}] attribute {:?}\n", fig5c.case, fig5c.attribute);
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let agent = MessagingAgent::new(
+        MessageCatalog::standard_catalog("the course"),
+        MessagePolicy::MaxSensibility,
+    );
+    let priority_agent =
+        MessagingAgent::new(MessageCatalog::standard_catalog("the course"), MessagePolicy::Priority);
+    let product = [Lively, Stimulated, Shy, Frightened, Hopeful];
+    let sens = [(Frightened, 0.99), (Shy, 0.92), (Stimulated, 0.85), (Lively, 0.80), (Empathic, 0.7)];
+    let mut group = c.benchmark_group("fig5");
+    group.bench_function("assign_max_sensibility", |b| {
+        b.iter(|| black_box(agent.assign(black_box(&product), black_box(&sens)).unwrap()))
+    });
+    group.bench_function("assign_priority", |b| {
+        b.iter(|| black_box(priority_agent.assign(black_box(&product), black_box(&sens)).unwrap()))
+    });
+    group.bench_function("assign_standard_fallback", |b| {
+        b.iter(|| black_box(agent.assign(black_box(&[Apathetic]), black_box(&sens)).unwrap()))
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate_fig5();
+    bench_assignment(c);
+}
+
+criterion_group!(fig5, benches);
+criterion_main!(fig5);

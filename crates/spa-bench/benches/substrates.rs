@@ -1,0 +1,146 @@
+//! Substrate micro-benches: the hot paths every experiment leans on —
+//! Pegasos SVM training/prediction, sparse kernels, the event log and
+//! the profile store.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use spa_linalg::SparseVec;
+use spa_ml::svm::{LinearSvm, SvmConfig};
+use spa_ml::{Classifier, Dataset, OnlineLearner};
+use spa_store::log::{EventLog, LogConfig};
+use spa_store::ProfileStore;
+use spa_types::{ActionId, EventKind, LifeLogEvent, Timestamp, UserId};
+use std::hint::black_box;
+
+fn training_set(n: usize, dim: usize, nnz: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Dataset::new(dim);
+    for i in 0..n {
+        let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+        let mut idx: Vec<u32> = (0..dim as u32).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(nnz);
+        idx.sort_unstable();
+        let pairs: Vec<(u32, f64)> =
+            idx.into_iter().map(|j| (j, y * 0.5 + rng.gen_range(-1.0..1.0))).collect();
+        data.push(&SparseVec::from_pairs(dim, pairs).unwrap(), y).unwrap();
+    }
+    data
+}
+
+fn bench_svm(c: &mut Criterion) {
+    let data = training_set(5_000, 75, 30, 1);
+    let mut group = c.benchmark_group("svm");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("pegasos_fit_5k_x_75", |b| {
+        b.iter(|| {
+            let mut svm = LinearSvm::new(75, SvmConfig { epochs: 5, ..Default::default() });
+            svm.fit(black_box(&data)).unwrap();
+            black_box(svm.bias())
+        })
+    });
+    let mut trained = LinearSvm::new(75, SvmConfig::default());
+    trained.fit(&data).unwrap();
+    let row = data.x.row_vec(0);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("decision_function", |b| {
+        b.iter(|| black_box(trained.decision_function(black_box(&row)).unwrap()))
+    });
+    group.bench_function("partial_fit", |b| {
+        b.iter(|| trained.partial_fit(black_box(&row), 1.0).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let a = SparseVec::from_pairs(10_000, (0..2_000u32).map(|i| (i * 5, 1.5))).unwrap();
+    let b_vec = SparseVec::from_pairs(10_000, (0..2_500u32).map(|i| (i * 4, -0.5))).unwrap();
+    let dense = vec![0.25f64; 10_000];
+    let mut group = c.benchmark_group("sparse");
+    group.throughput(Throughput::Elements(2_000));
+    group.bench_function("sparse_sparse_dot_2k_nnz", |b| {
+        b.iter(|| black_box(a.dot(black_box(&b_vec))))
+    });
+    group.bench_function("sparse_dense_dot_2k_nnz", |b| {
+        b.iter(|| black_box(a.dot_dense(black_box(&dense))))
+    });
+    group.bench_function("sparse_axpy_2k_nnz", |b| {
+        let mut acc = vec![0.0f64; 10_000];
+        b.iter(|| {
+            a.add_scaled_into(1.0e-6, &mut acc);
+            black_box(acc[0])
+        })
+    });
+    group.finish();
+}
+
+fn bench_event_log(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("spa-bench-log-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let log = EventLog::open(&dir, LogConfig::default()).unwrap();
+    let event = LifeLogEvent::new(
+        UserId::new(7),
+        Timestamp::from_millis(3),
+        EventKind::Action { action: ActionId::new(11), course: None },
+    );
+    let mut group = c.benchmark_group("store");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("event_log_append", |b| {
+        b.iter(|| log.append(black_box(&event)).unwrap())
+    });
+    group.finish();
+
+    // replay throughput over a fixed 50k-event log
+    let replay_dir = std::env::temp_dir().join(format!("spa-bench-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&replay_dir);
+    {
+        let log = EventLog::open(&replay_dir, LogConfig::default()).unwrap();
+        for i in 0..50_000u32 {
+            log.append(&LifeLogEvent::new(
+                UserId::new(i),
+                Timestamp::from_millis(i as u64),
+                EventKind::Action { action: ActionId::new(i % 984), course: None },
+            ))
+            .unwrap();
+        }
+        log.flush().unwrap();
+    }
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("event_log_replay_50k", |b| {
+        b.iter(|| black_box(EventLog::replay_dir(&replay_dir).unwrap().len()))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&replay_dir);
+}
+
+fn bench_profile_store(c: &mut Criterion) {
+    let store = ProfileStore::new(75);
+    let mut group = c.benchmark_group("store");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("profile_update", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            store.update(UserId::new(i % 10_000), Timestamp::from_millis(0), |v| v[0] += 1.0);
+        })
+    });
+    group.bench_function("profile_get", |b| {
+        b.iter(|| black_box(store.get(UserId::new(123)).map(|p| p.updates)))
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_svm(c);
+    bench_sparse(c);
+    bench_event_log(c);
+    bench_profile_store(c);
+}
+
+criterion_group!(substrates, benches);
+criterion_main!(substrates);

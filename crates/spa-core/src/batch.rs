@@ -1,0 +1,115 @@
+//! Habitat-Pro-style batch baseline.
+//!
+//! §4: "The SPA customer intelligence platform is an advance in the
+//! evolution of Habitat-Pro™ V2.5, which was a supervised platform to
+//! batch-process user profiles." The contrast the paper draws is
+//! *incremental, semi-supervised* (SPA) versus *retrain-from-scratch,
+//! supervised* (the predecessor). [`BatchPipeline`] reproduces the
+//! predecessor so the ablation bench can quantify the difference in
+//! update cost and freshness.
+
+use spa_linalg::SparseVec;
+use spa_ml::svm::{LinearSvm, SvmConfig};
+use spa_ml::{Classifier, Dataset};
+use spa_types::Result;
+
+/// Retrain-from-scratch scoring pipeline (the Habitat-Pro stand-in).
+pub struct BatchPipeline {
+    config: SvmConfig,
+    dim: usize,
+    model: Option<LinearSvm>,
+    /// Full training passes executed (each one costs O(n · epochs)).
+    pub retrains: u64,
+    /// Examples accumulated since the last retrain (stale until then).
+    pending: Dataset,
+}
+
+impl BatchPipeline {
+    /// Creates an empty pipeline.
+    pub fn new(dim: usize, config: SvmConfig) -> Self {
+        Self { config, dim, model: None, retrains: 0, pending: Dataset::new(dim) }
+    }
+
+    /// Accumulates an observed outcome. Unlike SPA's incremental
+    /// update, the model does *not* change until [`Self::retrain`].
+    pub fn record(&mut self, features: &SparseVec, responded: bool) -> Result<()> {
+        self.pending.push(features, if responded { 1.0 } else { -1.0 })
+    }
+
+    /// Number of examples waiting for the next batch run.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Retrains from scratch on everything recorded so far.
+    pub fn retrain(&mut self) -> Result<()> {
+        let mut model = LinearSvm::new(self.dim, self.config.clone());
+        model.fit(&self.pending)?;
+        self.model = Some(model);
+        self.retrains += 1;
+        Ok(())
+    }
+
+    /// Scores a user with the last trained model (stale between
+    /// retrains — that is the point of the baseline).
+    pub fn score(&self, features: &SparseVec) -> Result<f64> {
+        match &self.model {
+            Some(model) => model.decision_function(features),
+            None => Err(spa_types::SpaError::NotTrained),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example(hot: bool) -> SparseVec {
+        SparseVec::from_pairs(3, [(0u32, if hot { 1.0 } else { 0.0 }), (1, 0.5)]).unwrap()
+    }
+
+    #[test]
+    fn scores_only_after_retrain() {
+        let mut batch = BatchPipeline::new(3, SvmConfig::default());
+        for i in 0..100 {
+            batch.record(&example(i % 3 == 0), i % 3 == 0).unwrap();
+        }
+        assert!(batch.score(&example(true)).is_err(), "no model before the batch run");
+        batch.retrain().unwrap();
+        assert!(batch.score(&example(true)).unwrap() > batch.score(&example(false)).unwrap());
+        assert_eq!(batch.retrains, 1);
+    }
+
+    #[test]
+    fn model_is_stale_between_retrains() {
+        let mut batch = BatchPipeline::new(3, SvmConfig::default());
+        for i in 0..200 {
+            batch.record(&example(i % 2 == 0), i % 2 == 0).unwrap();
+        }
+        batch.retrain().unwrap();
+        let before = batch.score(&example(true)).unwrap();
+        // new, contradictory evidence arrives…
+        for _ in 0..200 {
+            batch.record(&example(true), false).unwrap();
+        }
+        // …but the score does not move until the next batch run
+        assert_eq!(batch.score(&example(true)).unwrap(), before);
+        batch.retrain().unwrap();
+        assert!(batch.score(&example(true)).unwrap() < before);
+        assert_eq!(batch.retrains, 2);
+    }
+
+    #[test]
+    fn pending_counter_tracks_recordings() {
+        let mut batch = BatchPipeline::new(3, SvmConfig::default());
+        assert_eq!(batch.pending_len(), 0);
+        batch.record(&example(true), true).unwrap();
+        assert_eq!(batch.pending_len(), 1);
+    }
+
+    #[test]
+    fn retrain_on_empty_history_fails() {
+        let mut batch = BatchPipeline::new(3, SvmConfig::default());
+        assert!(batch.retrain().is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # spa-core — the Smart Prediction Assistant
+//!
+//! The paper's primary contribution: a customer-intelligence platform
+//! that embeds users' *emotional context* into recommendation. The crate
+//! implements every component of Fig 3 and the methodology of §3:
+//!
+//! * [`sum`] — the **Smart User Model**: objective, subjective and
+//!   emotional attribute estimates with per-attribute relevance weights,
+//!   maintained through the three stages of §3 (initialization via the
+//!   Gradual EIT, advice via activation/inhibition, update via
+//!   reward/punish);
+//! * [`eit`] — the **Gradual Emotional Intelligence Test**: a
+//!   four-branch question bank, a one-question-per-contact scheduler and
+//!   per-branch EI scoring (Table 1);
+//! * [`preprocessor`] — the **LifeLogs Pre-processor**: distills raw
+//!   [`spa_types::LifeLogEvent`] streams into SUM updates;
+//! * [`attributes`] — the **Attributes Manager**: sensibility weighting,
+//!   thresholding, dominant-attribute extraction and cross-domain
+//!   attribute fusion;
+//! * [`messaging`] — the **Messaging Agent**: individualized sales
+//!   messages following §5.3's assignment cases (Fig 5);
+//! * [`recommend`] — the **recommendation function**: the per-user
+//!   action with the highest execution probability;
+//! * [`selection`] — the **selection function**: SVM-based propensity
+//!   ranking of users for campaign targeting;
+//! * [`batch`] — the Habitat-Pro-style batch baseline the paper says
+//!   SPA evolved from (retrain-from-scratch, no incremental updates);
+//! * [`agents`] — the four platform agents wired onto the
+//!   [`spa_agents`] runtime;
+//! * [`values`] — the Intelligent User Interface's **Human Values
+//!   Scale** and coherence function (§4, component 5);
+//! * [`platform`] — the [`platform::Spa`] facade tying everything
+//!   together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agents;
+pub mod attributes;
+pub mod batch;
+pub mod eit;
+pub mod messaging;
+pub mod platform;
+pub mod preprocessor;
+pub mod recommend;
+pub mod selection;
+pub mod sum;
+pub mod values;
+
+pub use eit::{EitEngine, EitQuestion, QuestionBank};
+pub use messaging::{AssignedMessage, AssignmentCase, MessageCatalog, MessagePolicy};
+pub use platform::Spa;
+pub use selection::SelectionFunction;
+pub use sum::{SmartUserModel, SumConfig, SumRegistry};

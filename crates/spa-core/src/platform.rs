@@ -1,0 +1,351 @@
+//! The SPA platform facade.
+//!
+//! [`Spa`] owns the shared state of Fig 3 — the SUM registry, the
+//! Gradual-EIT engine, the LifeLogs Pre-processor, the Attributes
+//! Manager and the Messaging Agent — and exposes the operations the
+//! examples, campaign engine and benches drive:
+//!
+//! * event ingestion ([`Spa::ingest`], [`Spa::ingest_batch`]);
+//! * EIT contact scheduling ([`Spa::next_eit_question`]);
+//! * feature extraction ([`Spa::feature_row`], [`Spa::advice_row`]);
+//! * propensity training and ranking ([`Spa::train_selection`],
+//!   [`Spa::selection`]);
+//! * message assignment ([`Spa::assign_message`]).
+
+use crate::attributes::AttributesManager;
+use crate::eit::{EitEngine, EitQuestion};
+use crate::messaging::{AssignedMessage, MessageCatalog, MessagePolicy, MessagingAgent};
+use crate::preprocessor::{LifeLogPreprocessor, PreprocessorStats};
+use crate::selection::SelectionFunction;
+use crate::sum::{SumConfig, SumRegistry};
+use spa_linalg::SparseVec;
+use spa_ml::Dataset;
+use spa_synth::catalog::CourseCatalog;
+use spa_types::{
+    AttributeId, AttributeSchema, CampaignId, EmotionalAttribute, LifeLogEvent, Result, SpaError,
+    UserId,
+};
+use std::sync::Arc;
+
+/// Platform configuration.
+#[derive(Debug, Clone)]
+pub struct SpaConfig {
+    /// SUM update rules.
+    pub sum: SumConfig,
+    /// Case-3.c message policy.
+    pub policy: MessagePolicy,
+    /// Class-imbalance weight for the selection SVM.
+    pub positive_weight: f64,
+}
+
+impl Default for SpaConfig {
+    fn default() -> Self {
+        Self { sum: SumConfig::default(), policy: MessagePolicy::MaxSensibility, positive_weight: 4.0 }
+    }
+}
+
+/// The assembled Smart Prediction Assistant.
+pub struct Spa {
+    schema: AttributeSchema,
+    registry: Arc<SumRegistry>,
+    eit: Arc<EitEngine>,
+    preprocessor: Arc<LifeLogPreprocessor>,
+    manager: Arc<AttributesManager>,
+    messaging: Arc<MessagingAgent>,
+    selection: SelectionFunction,
+}
+
+impl Spa {
+    /// Builds a platform over the emagister schema and a course catalog.
+    pub fn new(courses: &CourseCatalog, config: SpaConfig) -> Self {
+        let schema = AttributeSchema::emagister();
+        let registry = Arc::new(SumRegistry::new(schema.len(), config.sum.clone()));
+        let eit = Arc::new(EitEngine::standard());
+        let preprocessor = Arc::new(LifeLogPreprocessor::new(schema.clone(), courses));
+        let manager = Arc::new(AttributesManager::new(schema.clone()));
+        let messaging = Arc::new(MessagingAgent::new(
+            MessageCatalog::standard_catalog("this course"),
+            config.policy,
+        ));
+        let selection = SelectionFunction::with_imbalance(schema.len(), config.positive_weight);
+        Self { schema, registry, eit, preprocessor, manager, messaging, selection }
+    }
+
+    /// The attribute schema.
+    pub fn schema(&self) -> &AttributeSchema {
+        &self.schema
+    }
+
+    /// Shared SUM registry.
+    pub fn registry(&self) -> &Arc<SumRegistry> {
+        &self.registry
+    }
+
+    /// The Gradual-EIT engine.
+    pub fn eit(&self) -> &Arc<EitEngine> {
+        &self.eit
+    }
+
+    /// The pre-processor (for campaign registration and stats).
+    pub fn preprocessor(&self) -> &Arc<LifeLogPreprocessor> {
+        &self.preprocessor
+    }
+
+    /// The attributes manager.
+    pub fn manager(&self) -> &Arc<AttributesManager> {
+        &self.manager
+    }
+
+    /// The selection function (trained propensity ranker).
+    pub fn selection(&self) -> &SelectionFunction {
+        &self.selection
+    }
+
+    /// Ingests one raw LifeLog event.
+    pub fn ingest(&self, event: &LifeLogEvent) -> Result<()> {
+        self.preprocessor.ingest(&self.registry, &self.eit, event)
+    }
+
+    /// Ingests a batch, returning how many events were processed.
+    pub fn ingest_batch<'a>(
+        &self,
+        events: impl IntoIterator<Item = &'a LifeLogEvent>,
+    ) -> Result<usize> {
+        let mut n = 0;
+        for event in events {
+            self.ingest(event)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Pre-processing counters.
+    pub fn stats(&self) -> PreprocessorStats {
+        self.preprocessor.stats()
+    }
+
+    /// Imports socio-demographic (objective) attributes for a user —
+    /// the off-line data-selection path of §4.
+    pub fn import_objective(&self, user: UserId, values: &[f64]) -> Result<()> {
+        if values.len() > 40 {
+            return Err(SpaError::DimensionMismatch { got: values.len(), expected: 40 });
+        }
+        self.registry.with_model(user, |model, _| -> Result<()> {
+            for (i, &v) in values.iter().enumerate() {
+                model.set_observed(AttributeId::new(i as u32), v)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// The next Gradual-EIT question for a user (one per contact).
+    pub fn next_eit_question(&self, user: UserId) -> EitQuestion {
+        self.eit.next_question(&self.registry, user).clone()
+    }
+
+    /// Plain observed feature row for a user (empty row for unknowns).
+    pub fn feature_row(&self, user: UserId) -> SparseVec {
+        match self.registry.get(user) {
+            Some(model) => model.feature_row(),
+            None => SparseVec::zeros(self.schema.len()),
+        }
+    }
+
+    /// Advice-stage (activated/inhibited) feature row.
+    pub fn advice_row(&self, user: UserId) -> Result<SparseVec> {
+        match self.registry.get(user) {
+            Some(model) => model.advice_row(&self.schema),
+            None => Ok(SparseVec::zeros(self.schema.len())),
+        }
+    }
+
+    /// Trains the selection function on labelled campaign history.
+    pub fn train_selection(&mut self, data: &Dataset) -> Result<()> {
+        self.selection.fit(data)
+    }
+
+    /// Incrementally folds one observed outcome into the selection
+    /// function (SPA's incremental-learning mode).
+    pub fn observe_outcome(&mut self, user: UserId, responded: bool) -> Result<()> {
+        let row = self.advice_row(user)?;
+        self.selection.partial_fit(&row, responded)
+    }
+
+    /// Registers a campaign's appeal attributes so opens/transactions
+    /// reward them (update stage).
+    pub fn register_campaign(&self, campaign: CampaignId, appeal: &[EmotionalAttribute]) {
+        let ids = self.schema.emotional_ids();
+        let attrs: Vec<AttributeId> = appeal.iter().map(|e| ids[e.ordinal()]).collect();
+        self.preprocessor.register_campaign(campaign, attrs);
+    }
+
+    /// Punishes the appeal attributes for users who ignored a campaign
+    /// (called at campaign close-out).
+    pub fn punish_ignored(&self, user: UserId, campaign: CampaignId) {
+        self.preprocessor.punish_ignored(&self.registry, user, campaign);
+    }
+
+    /// Assigns the individualized message for (user, course-appeal):
+    /// the Messaging Agent pipeline of §5.3.
+    pub fn assign_message(
+        &self,
+        user: UserId,
+        appeal: &[EmotionalAttribute],
+    ) -> Result<AssignedMessage> {
+        let sensibilities =
+            self.manager.dominant_sensibilities(&self.registry, user, self.registry.config());
+        self.messaging.assign(appeal, &sensibilities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messaging::AssignmentCase;
+    use spa_types::{EventKind, Timestamp, Valence};
+
+    fn platform() -> Spa {
+        let courses = CourseCatalog::generate(25, 5, 3).unwrap();
+        Spa::new(&courses, SpaConfig::default())
+    }
+
+    #[test]
+    fn ingest_builds_models() {
+        let spa = platform();
+        let user = UserId::new(1);
+        let q = spa.next_eit_question(user);
+        spa.ingest(&LifeLogEvent::new(
+            user,
+            Timestamp::from_millis(0),
+            EventKind::EitAnswer { question: q.id, answer: Valence::new(0.7) },
+        ))
+        .unwrap();
+        assert_eq!(spa.stats().eit_answers, 1);
+        assert!(spa.feature_row(user).nnz() > 0);
+    }
+
+    #[test]
+    fn unknown_users_have_empty_rows() {
+        let spa = platform();
+        assert_eq!(spa.feature_row(UserId::new(9)).nnz(), 0);
+        assert_eq!(spa.advice_row(UserId::new(9)).unwrap().nnz(), 0);
+    }
+
+    #[test]
+    fn import_objective_fills_the_objective_block() {
+        let spa = platform();
+        let user = UserId::new(2);
+        spa.import_objective(user, &[0.1, 0.2, 0.3]).unwrap();
+        let row = spa.feature_row(user);
+        assert_eq!(row.nnz(), 3);
+        assert!((row.get(1) - 0.2).abs() < 1e-12);
+        assert!(spa.import_objective(user, &vec![0.0; 41]).is_err());
+    }
+
+    #[test]
+    fn eit_contact_loop_converges_coverage() {
+        let spa = platform();
+        let user = UserId::new(3);
+        for round in 0..10 {
+            let q = spa.next_eit_question(user);
+            spa.ingest(&LifeLogEvent::new(
+                user,
+                Timestamp::from_millis(round),
+                EventKind::EitAnswer { question: q.id, answer: Valence::new(0.2) },
+            ))
+            .unwrap();
+        }
+        let counts = *spa.registry().get(user).unwrap().eit_answer_counts();
+        assert_eq!(counts, [1u32; 10], "one answer per attribute after ten contacts");
+    }
+
+    #[test]
+    fn selection_trains_and_ranks() {
+        let mut spa = platform();
+        // two users with opposite emotional profiles
+        let responder = UserId::new(10);
+        let ignorer = UserId::new(11);
+        for (user, v) in [(responder, 0.9), (ignorer, -0.9)] {
+            for round in 0..10 {
+                let q = spa.next_eit_question(user);
+                spa.ingest(&LifeLogEvent::new(
+                    user,
+                    Timestamp::from_millis(round),
+                    EventKind::EitAnswer { question: q.id, answer: Valence::new(v) },
+                ))
+                .unwrap();
+            }
+        }
+        let mut data = Dataset::new(75);
+        for _ in 0..40 {
+            data.push(&spa.advice_row(responder).unwrap(), 1.0).unwrap();
+            data.push(&spa.advice_row(ignorer).unwrap(), -1.0).unwrap();
+        }
+        spa.train_selection(&data).unwrap();
+        let s_r = spa.selection().score(&spa.advice_row(responder).unwrap()).unwrap();
+        let s_i = spa.selection().score(&spa.advice_row(ignorer).unwrap()).unwrap();
+        assert!(s_r > s_i);
+    }
+
+    #[test]
+    fn observe_outcome_updates_incrementally() {
+        let mut spa = platform();
+        let user = UserId::new(20);
+        let q = spa.next_eit_question(user);
+        spa.ingest(&LifeLogEvent::new(
+            user,
+            Timestamp::from_millis(0),
+            EventKind::EitAnswer { question: q.id, answer: Valence::new(0.9) },
+        ))
+        .unwrap();
+        spa.observe_outcome(user, true).unwrap();
+        assert!(spa.selection().is_trained());
+    }
+
+    #[test]
+    fn message_assignment_uses_learned_sensibilities() {
+        let spa = platform();
+        let user = UserId::new(30);
+        // drive "enthusiastic" high through repeated answers
+        for round in 0..20 {
+            let q = spa.next_eit_question(user);
+            let v = if q.target == EmotionalAttribute::Enthusiastic { 0.95 } else { -0.8 };
+            spa.ingest(&LifeLogEvent::new(
+                user,
+                Timestamp::from_millis(round),
+                EventKind::EitAnswer { question: q.id, answer: Valence::new(v) },
+            ))
+            .unwrap();
+        }
+        let msg = spa
+            .assign_message(user, &[EmotionalAttribute::Enthusiastic, EmotionalAttribute::Apathetic])
+            .unwrap();
+        assert_eq!(msg.case, AssignmentCase::SingleAttribute);
+        assert_eq!(msg.attribute, Some(EmotionalAttribute::Enthusiastic));
+    }
+
+    #[test]
+    fn campaign_reward_loop_reinforces_appeal() {
+        let spa = platform();
+        let user = UserId::new(40);
+        let campaign = CampaignId::new(1);
+        spa.register_campaign(campaign, &[EmotionalAttribute::Hopeful]);
+        // prime the attribute
+        let hopeful_id = spa.schema().emotional_ids()[EmotionalAttribute::Hopeful.ordinal()];
+        spa.registry().with_model(user, |m, config| {
+            m.apply_eit_answer(hopeful_id, EmotionalAttribute::Hopeful.ordinal(), Valence::NEUTRAL, config)
+                .unwrap();
+        });
+        let before = spa.registry().get(user).unwrap().value(hopeful_id);
+        spa.ingest(&LifeLogEvent::new(
+            user,
+            Timestamp::from_millis(0),
+            EventKind::MessageOpened { campaign },
+        ))
+        .unwrap();
+        let after_open = spa.registry().get(user).unwrap().value(hopeful_id);
+        assert!(after_open > before);
+        spa.punish_ignored(user, campaign);
+        assert!(spa.registry().get(user).unwrap().value(hopeful_id) < after_open);
+    }
+}

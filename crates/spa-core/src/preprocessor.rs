@@ -1,0 +1,372 @@
+//! The LifeLogs Pre-processor.
+//!
+//! §4: "Its function is to pre-process raw data in on-line and off-line
+//! environments." The pre-processor consumes raw [`LifeLogEvent`]s and
+//! distills them into SUM updates:
+//!
+//! * **web usage** ([`spa_types::EventKind::Action`]) raises the user's
+//!   activity-style subjective attributes and their affinity for the
+//!   course's topic;
+//! * **transactions** additionally feed the reward loop when they are
+//!   attributable to a campaign;
+//! * **EIT events** are routed to the [`crate::eit::EitEngine`]
+//!   (initialization stage);
+//! * **message opens** reward the emotional attributes the message
+//!   appealed to, **deliveries without a subsequent open** are punished
+//!   by the campaign engine at close-out (update stage, Fig 4).
+
+use crate::eit::EitEngine;
+use crate::sum::SumRegistry;
+use spa_synth::catalog::CourseCatalog;
+use spa_types::{
+    AttributeId, AttributeSchema, CampaignId, EventKind, LifeLogEvent, Result, UserId,
+};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Counters of what the pre-processor has seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PreprocessorStats {
+    /// Web-usage actions processed.
+    pub actions: u64,
+    /// Transactions processed.
+    pub transactions: u64,
+    /// EIT answers incorporated.
+    pub eit_answers: u64,
+    /// EIT questions skipped.
+    pub eit_skips: u64,
+    /// Message deliveries seen.
+    pub deliveries: u64,
+    /// Message opens seen (rewards applied).
+    pub opens: u64,
+}
+
+/// Distills raw LifeLog events into Smart User Model updates.
+pub struct LifeLogPreprocessor {
+    schema: AttributeSchema,
+    /// Course → topic mapping, for topic-affinity attributes.
+    course_topic: HashMap<u32, usize>,
+    /// Campaign → emotional attribute ids its message appealed to.
+    campaign_appeal: RwLock<HashMap<u32, Vec<AttributeId>>>,
+    stats: RwLock<PreprocessorStats>,
+}
+
+/// Subjective slot used for the general activity index.
+const ACTIVITY_SLOT: usize = 0;
+/// Subjective slot used for the transactional-intensity index.
+const TRANSACT_SLOT: usize = 1;
+/// First subjective slot used for topic affinities.
+const TOPIC_SLOT0: usize = 2;
+
+impl LifeLogPreprocessor {
+    /// Creates a pre-processor for a schema and course catalog.
+    pub fn new(schema: AttributeSchema, courses: &CourseCatalog) -> Self {
+        let course_topic =
+            courses.courses().map(|c| (c.id.raw(), c.topic)).collect();
+        Self {
+            schema,
+            course_topic,
+            campaign_appeal: RwLock::new(HashMap::new()),
+            stats: RwLock::new(PreprocessorStats::default()),
+        }
+    }
+
+    /// Registers which emotional attributes a campaign's messages appeal
+    /// to, so later `MessageOpened` events can reward them.
+    pub fn register_campaign(&self, campaign: CampaignId, appeal: Vec<AttributeId>) {
+        self.campaign_appeal.write().insert(campaign.raw(), appeal);
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PreprocessorStats {
+        *self.stats.read()
+    }
+
+    fn subjective_attr(&self, slot: usize) -> AttributeId {
+        // subjective block starts after the 40 objective attributes
+        AttributeId::new((40 + slot.min(24)) as u32)
+    }
+
+    /// Processes one raw event against the registry (routing EIT events
+    /// through `eit`).
+    pub fn ingest(
+        &self,
+        registry: &SumRegistry,
+        eit: &EitEngine,
+        event: &LifeLogEvent,
+    ) -> Result<()> {
+        match &event.kind {
+            EventKind::Action { course, .. } => {
+                self.stats.write().actions += 1;
+                self.touch_usage(registry, event.user, course.map(|c| c.raw()), false);
+                Ok(())
+            }
+            EventKind::Transaction { course, campaign } => {
+                self.stats.write().transactions += 1;
+                self.touch_usage(registry, event.user, Some(course.raw()), true);
+                if let Some(campaign) = campaign {
+                    self.reward_campaign(registry, event.user, *campaign);
+                }
+                Ok(())
+            }
+            EventKind::Rating { course, stars } => {
+                // explicit feedback: treat ≥4 stars as a transactional
+                // signal for the course's topic
+                self.stats.write().actions += 1;
+                self.touch_usage(registry, event.user, Some(course.raw()), *stars >= 4);
+                Ok(())
+            }
+            EventKind::EitAnswer { .. } => {
+                let incorporated = eit.ingest(registry, &self.schema, event)?;
+                if incorporated {
+                    self.stats.write().eit_answers += 1;
+                }
+                Ok(())
+            }
+            EventKind::EitSkipped { .. } => {
+                eit.ingest(registry, &self.schema, event)?;
+                self.stats.write().eit_skips += 1;
+                Ok(())
+            }
+            EventKind::MessageDelivered { .. } => {
+                self.stats.write().deliveries += 1;
+                Ok(())
+            }
+            EventKind::MessageOpened { campaign } => {
+                self.stats.write().opens += 1;
+                self.reward_campaign(registry, event.user, *campaign);
+                Ok(())
+            }
+        }
+    }
+
+    fn touch_usage(
+        &self,
+        registry: &SumRegistry,
+        user: UserId,
+        course: Option<u32>,
+        transactional: bool,
+    ) {
+        let activity = self.subjective_attr(ACTIVITY_SLOT);
+        let transact = self.subjective_attr(TRANSACT_SLOT);
+        let topic_attr = course.and_then(|c| self.course_topic.get(&c)).map(|&t| {
+            let slots = 25usize.saturating_sub(TOPIC_SLOT0).max(1);
+            self.subjective_attr(TOPIC_SLOT0 + t % slots)
+        });
+        registry.with_model(user, |model, config| {
+            // every action nudges the activity index up
+            model.observe_subjective(activity, 1.0, config).expect("slot in range");
+            if transactional {
+                model.observe_subjective(transact, 1.0, config).expect("slot in range");
+            }
+            if let Some(attr) = topic_attr {
+                model.observe_subjective(attr, 1.0, config).expect("slot in range");
+            }
+        });
+    }
+
+    fn reward_campaign(&self, registry: &SumRegistry, user: UserId, campaign: CampaignId) {
+        let appeal = self.campaign_appeal.read().get(&campaign.raw()).cloned();
+        if let Some(attrs) = appeal {
+            registry.with_model(user, |model, config| {
+                model.reward(&attrs, config).expect("campaign attrs validated at registration");
+            });
+        }
+    }
+
+    /// Punishes the attributes a campaign appealed to for a user who
+    /// ignored its message (called by the campaign engine at close-out).
+    pub fn punish_ignored(&self, registry: &SumRegistry, user: UserId, campaign: CampaignId) {
+        let appeal = self.campaign_appeal.read().get(&campaign.raw()).cloned();
+        if let Some(attrs) = appeal {
+            registry.with_model(user, |model, config| {
+                model.punish(&attrs, config).expect("campaign attrs validated at registration");
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sum::SumConfig;
+    use spa_synth::catalog::CourseCatalog;
+    use spa_types::{ActionId, CourseId, Timestamp, Valence};
+
+    fn setup() -> (LifeLogPreprocessor, SumRegistry, EitEngine) {
+        let schema = AttributeSchema::emagister();
+        let courses = CourseCatalog::generate(30, 6, 9).unwrap();
+        (
+            LifeLogPreprocessor::new(schema, &courses),
+            SumRegistry::new(75, SumConfig::default()),
+            EitEngine::standard(),
+        )
+    }
+
+    fn at(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn actions_raise_activity() {
+        let (pre, registry, eit) = setup();
+        let user = UserId::new(1);
+        for i in 0..5 {
+            let e = LifeLogEvent::new(
+                user,
+                at(i),
+                EventKind::Action { action: ActionId::new(3), course: Some(CourseId::new(0)) },
+            );
+            pre.ingest(&registry, &eit, &e).unwrap();
+        }
+        let model = registry.get(user).unwrap();
+        assert!(model.value(AttributeId::new(40)) > 0.9, "activity slot saturates toward 1");
+        assert_eq!(pre.stats().actions, 5);
+    }
+
+    #[test]
+    fn transactions_raise_the_transactional_index() {
+        let (pre, registry, eit) = setup();
+        let user = UserId::new(2);
+        let e = LifeLogEvent::new(
+            user,
+            at(0),
+            EventKind::Transaction { course: CourseId::new(1), campaign: None },
+        );
+        pre.ingest(&registry, &eit, &e).unwrap();
+        let model = registry.get(user).unwrap();
+        assert!(model.value(AttributeId::new(41)) > 0.0);
+        assert_eq!(pre.stats().transactions, 1);
+    }
+
+    #[test]
+    fn topic_affinity_lands_in_a_topic_slot() {
+        let (pre, registry, eit) = setup();
+        let user = UserId::new(3);
+        let e = LifeLogEvent::new(
+            user,
+            at(0),
+            EventKind::Action { action: ActionId::new(3), course: Some(CourseId::new(5)) },
+        );
+        pre.ingest(&registry, &eit, &e).unwrap();
+        let model = registry.get(user).unwrap();
+        // some slot in [42, 64] must be touched
+        let touched = (42..65).any(|i| model.value(AttributeId::new(i)) > 0.0);
+        assert!(touched);
+    }
+
+    #[test]
+    fn eit_events_route_to_the_engine() {
+        let (pre, registry, eit) = setup();
+        let user = UserId::new(4);
+        let q = eit.next_question(&registry, user).id;
+        pre.ingest(
+            &registry,
+            &eit,
+            &LifeLogEvent::new(user, at(0), EventKind::EitAnswer { question: q, answer: Valence::new(0.5) }),
+        )
+        .unwrap();
+        pre.ingest(
+            &registry,
+            &eit,
+            &LifeLogEvent::new(user, at(1), EventKind::EitSkipped { question: q }),
+        )
+        .unwrap();
+        assert_eq!(pre.stats().eit_answers, 1);
+        assert_eq!(pre.stats().eit_skips, 1);
+        assert_eq!(registry.get(user).unwrap().eit_answer_counts()[0], 1);
+    }
+
+    #[test]
+    fn message_opens_reward_registered_appeal() {
+        let (pre, registry, eit) = setup();
+        let user = UserId::new(5);
+        let campaign = CampaignId::new(7);
+        let schema = AttributeSchema::emagister();
+        let attr = schema.emotional_ids()[0];
+        // establish a baseline value
+        registry.with_model(user, |m, config| {
+            m.apply_eit_answer(attr, 0, Valence::NEUTRAL, config).unwrap();
+        });
+        let before = registry.get(user).unwrap().value(attr);
+        pre.register_campaign(campaign, vec![attr]);
+        pre.ingest(
+            &registry,
+            &eit,
+            &LifeLogEvent::new(user, at(0), EventKind::MessageOpened { campaign }),
+        )
+        .unwrap();
+        let after = registry.get(user).unwrap().value(attr);
+        assert!(after > before, "open must reward the appealed attribute");
+        assert_eq!(pre.stats().opens, 1);
+    }
+
+    #[test]
+    fn unregistered_campaign_open_is_harmless() {
+        let (pre, registry, eit) = setup();
+        let user = UserId::new(6);
+        pre.ingest(
+            &registry,
+            &eit,
+            &LifeLogEvent::new(user, at(0), EventKind::MessageOpened { campaign: CampaignId::new(99) }),
+        )
+        .unwrap();
+        assert_eq!(pre.stats().opens, 1);
+    }
+
+    #[test]
+    fn punish_ignored_lowers_the_attribute() {
+        let (pre, registry, eit) = setup();
+        let _ = &eit;
+        let user = UserId::new(7);
+        let campaign = CampaignId::new(8);
+        let schema = AttributeSchema::emagister();
+        let attr = schema.emotional_ids()[2];
+        registry.with_model(user, |m, config| {
+            m.apply_eit_answer(attr, 2, Valence::new(0.8), config).unwrap();
+        });
+        pre.register_campaign(campaign, vec![attr]);
+        let before = registry.get(user).unwrap().value(attr);
+        pre.punish_ignored(&registry, user, campaign);
+        assert!(registry.get(user).unwrap().value(attr) < before);
+    }
+
+    #[test]
+    fn high_star_ratings_count_as_transactional_signal() {
+        let (pre, registry, eit) = setup();
+        let user = UserId::new(8);
+        pre.ingest(
+            &registry,
+            &eit,
+            &LifeLogEvent::new(user, at(0), EventKind::Rating { course: CourseId::new(2), stars: 5 }),
+        )
+        .unwrap();
+        assert!(registry.get(user).unwrap().value(AttributeId::new(41)) > 0.0);
+        pre.ingest(
+            &registry,
+            &eit,
+            &LifeLogEvent::new(user, at(1), EventKind::Rating { course: CourseId::new(2), stars: 2 }),
+        )
+        .unwrap();
+        // low rating does not add transactional mass beyond prior state
+        let v = registry.get(user).unwrap().value(AttributeId::new(41));
+        assert!(v <= 1.0);
+    }
+
+    #[test]
+    fn deliveries_only_count() {
+        let (pre, registry, eit) = setup();
+        pre.ingest(
+            &registry,
+            &eit,
+            &LifeLogEvent::new(
+                UserId::new(9),
+                at(0),
+                EventKind::MessageDelivered { campaign: CampaignId::new(1) },
+            ),
+        )
+        .unwrap();
+        assert_eq!(pre.stats().deliveries, 1);
+        assert!(registry.get(UserId::new(9)).is_none(), "delivery alone builds no model");
+    }
+}

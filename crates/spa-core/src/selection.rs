@@ -1,0 +1,194 @@
+//! The selection function.
+//!
+//! §5.4: "The selection function: to choose the user with greater
+//! propensity to follow a course in the recommender system." §5.2: SVMs
+//! "have been used as a learning component in ranking users to assess
+//! their propensity to accept a recommended item."
+//!
+//! [`SelectionFunction`] trains a linear SVM on labelled campaign
+//! history (features → responded) and ranks the audience by decision
+//! score; the campaign engine then contacts the top slice, which is
+//! exactly what the cumulative-redemption curve of Fig 6(a) measures.
+
+use spa_linalg::SparseVec;
+use spa_ml::svm::{LinearSvm, SvmConfig};
+use spa_ml::{Classifier, Dataset, OnlineLearner};
+use spa_types::{Result, SpaError, UserId};
+
+/// SVM-backed propensity ranker.
+pub struct SelectionFunction {
+    svm: LinearSvm,
+    dim: usize,
+}
+
+impl SelectionFunction {
+    /// Creates an untrained selection function for `dim` features.
+    pub fn new(dim: usize, config: SvmConfig) -> Self {
+        Self { svm: LinearSvm::new(dim, config), dim }
+    }
+
+    /// Default hyper-parameters tuned for imbalanced campaign labels:
+    /// positives are up-weighted by the given factor.
+    pub fn with_imbalance(dim: usize, positive_weight: f64) -> Self {
+        Self::new(
+            dim,
+            SvmConfig { positive_weight, epochs: 6, lambda: 1e-4, ..Default::default() },
+        )
+    }
+
+    /// Trains on labelled history (`+1` = responded).
+    pub fn fit(&mut self, data: &Dataset) -> Result<()> {
+        self.svm.fit(data)
+    }
+
+    /// Incrementally folds in one observed outcome (SPA's incremental
+    /// learning; the batch baseline retrains instead).
+    pub fn partial_fit(&mut self, features: &SparseVec, responded: bool) -> Result<()> {
+        self.svm.partial_fit(features, if responded { 1.0 } else { -1.0 })
+    }
+
+    /// True once trained.
+    pub fn is_trained(&self) -> bool {
+        self.svm.is_trained()
+    }
+
+    /// Direct access to the underlying SVM (e.g. for feature selection).
+    pub fn svm(&self) -> &LinearSvm {
+        &self.svm
+    }
+
+    /// Propensity score of one user.
+    pub fn score(&self, features: &SparseVec) -> Result<f64> {
+        self.svm.decision_function(features)
+    }
+
+    /// Ranks an audience by propensity, descending. Ties break by user
+    /// id for determinism.
+    pub fn rank(&self, audience: &[(UserId, SparseVec)]) -> Result<Vec<(UserId, f64)>> {
+        let mut scored = Vec::with_capacity(audience.len());
+        for (user, features) in audience {
+            scored.push((*user, self.score(features)?));
+        }
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        Ok(scored)
+    }
+
+    /// The top `fraction` of the ranked audience — the users the
+    /// campaign will actually contact ("the effort to send Push and
+    /// newsletters" axis of Fig 6a).
+    pub fn select_top(
+        &self,
+        audience: &[(UserId, SparseVec)],
+        fraction: f64,
+    ) -> Result<Vec<UserId>> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(SpaError::Invalid(format!("fraction {fraction} out of [0,1]")));
+        }
+        let ranked = self.rank(audience)?;
+        let k = ((ranked.len() as f64) * fraction).round() as usize;
+        Ok(ranked.into_iter().take(k).map(|(u, _)| u).collect())
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    /// Responders have feature 0 ≈ 1, non-responders ≈ 0.
+    fn history(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(5);
+        for i in 0..n {
+            let responded = i % 5 == 0; // 20% response rate, like the paper
+            let signal = if responded { 0.9 } else { 0.1 };
+            let row = SparseVec::from_pairs(
+                5,
+                [(0u32, signal + rng.gen_range(-0.05..0.05)), (1, rng.gen_range(0.0..1.0))],
+            )
+            .unwrap();
+            d.push(&row, if responded { 1.0 } else { -1.0 }).unwrap();
+        }
+        d
+    }
+
+    fn audience(n: usize, seed: u64) -> Vec<(UserId, SparseVec)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let hot = i % 4 == 0;
+                let signal = if hot { 0.9 } else { 0.1 };
+                (
+                    UserId::new(i as u32),
+                    SparseVec::from_pairs(5, [(0u32, signal + rng.gen_range(-0.05..0.05))])
+                        .unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ranks_responders_to_the_top() {
+        let mut sel = SelectionFunction::with_imbalance(5, 4.0);
+        sel.fit(&history(1000, 1)).unwrap();
+        let ranked = sel.rank(&audience(100, 2)).unwrap();
+        // top 25 should be exactly the "hot" users (i % 4 == 0)
+        let top: Vec<u32> = ranked[..25].iter().map(|(u, _)| u.raw()).collect();
+        let hot_in_top = top.iter().filter(|&&u| u % 4 == 0).count();
+        assert!(hot_in_top >= 23, "only {hot_in_top}/25 hot users on top");
+    }
+
+    #[test]
+    fn select_top_returns_the_requested_slice() {
+        let mut sel = SelectionFunction::with_imbalance(5, 4.0);
+        sel.fit(&history(500, 3)).unwrap();
+        let aud = audience(200, 4);
+        let chosen = sel.select_top(&aud, 0.4).unwrap();
+        assert_eq!(chosen.len(), 80);
+        assert!(sel.select_top(&aud, 0.0).unwrap().is_empty());
+        assert_eq!(sel.select_top(&aud, 1.0).unwrap().len(), 200);
+        assert!(sel.select_top(&aud, 1.5).is_err());
+    }
+
+    #[test]
+    fn untrained_selection_errors() {
+        let sel = SelectionFunction::with_imbalance(5, 1.0);
+        assert!(!sel.is_trained());
+        assert!(sel.score(&SparseVec::zeros(5)).is_err());
+    }
+
+    #[test]
+    fn incremental_updates_learn_online() {
+        let mut sel = SelectionFunction::with_imbalance(5, 1.0);
+        let d = history(2000, 5);
+        for r in 0..d.len() {
+            sel.partial_fit(&d.x.row_vec(r), d.y[r] > 0.0).unwrap();
+        }
+        assert!(sel.is_trained());
+        let hot = SparseVec::from_pairs(5, [(0u32, 0.9)]).unwrap();
+        let cold = SparseVec::from_pairs(5, [(0u32, 0.1)]).unwrap();
+        assert!(sel.score(&hot).unwrap() > sel.score(&cold).unwrap());
+    }
+
+    #[test]
+    fn ranking_is_deterministic_including_ties() {
+        let mut sel = SelectionFunction::with_imbalance(5, 1.0);
+        sel.fit(&history(500, 6)).unwrap();
+        let aud: Vec<(UserId, SparseVec)> =
+            (0..10).map(|i| (UserId::new(i), SparseVec::zeros(5))).collect();
+        let r1 = sel.rank(&aud).unwrap();
+        let r2 = sel.rank(&aud).unwrap();
+        assert_eq!(r1, r2);
+        // all-zero features tie; ids ascend
+        let ids: Vec<u32> = r1.iter().map(|(u, _)| u.raw()).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+}

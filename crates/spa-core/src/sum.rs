@@ -1,0 +1,622 @@
+//! The Smart User Model (SUM).
+//!
+//! §3 of the paper defines three stages for managing a user's emotional
+//! information, all implemented here:
+//!
+//! 1. **Initialization** — emotional features are acquired through the
+//!    Gradual EIT ([`SmartUserModel::apply_eit_answer`]): each answer
+//!    updates the estimate for the probed attribute and raises its
+//!    relevance (the "weight (relevancy)" the Attributes Manager
+//!    assigns, §4);
+//! 2. **Advice** — [`SmartUserModel::advice_row`] produces the feature
+//!    vector handed to recommenders, with excitatory attributes
+//!    *activated* (positive valence) or *inhibited* (negative valence)
+//!    in proportion to their relevance;
+//! 3. **Update** — [`SmartUserModel::reward`] / [`SmartUserModel::punish`]
+//!    implement the reward-and-punish mechanism of Fig 4: opening a
+//!    recommendation reinforces the attributes its message appealed to;
+//!    ignoring it weakens them.
+
+use parking_lot::RwLock;
+use spa_linalg::SparseVec;
+use spa_store::{ProfileStore, UserProfile};
+use spa_types::{
+    AttributeId, AttributeKind, AttributeSchema, Result, SpaError, Timestamp, UserId, Valence,
+};
+use std::collections::HashMap;
+
+/// Tunable constants of the SUM update rules.
+#[derive(Debug, Clone)]
+pub struct SumConfig {
+    /// Blend factor for each new EIT answer (exponential moving
+    /// average toward the expressed sensibility).
+    pub eit_blend: f64,
+    /// Step applied by a reward (value nudged toward 1).
+    pub reward_rate: f64,
+    /// Step applied by a punishment (value nudged toward 0).
+    pub punish_rate: f64,
+    /// Relevance gained per observation of an attribute.
+    pub relevance_gain: f64,
+    /// Sensibility threshold used when extracting dominant attributes
+    /// (§5.3 step 3: "attributes … that exceed a sensibility threshold").
+    pub sensibility_threshold: f64,
+}
+
+impl Default for SumConfig {
+    fn default() -> Self {
+        Self {
+            eit_blend: 0.35,
+            reward_rate: 0.12,
+            punish_rate: 0.05,
+            relevance_gain: 0.2,
+            sensibility_threshold: 0.6,
+        }
+    }
+}
+
+/// One user's Smart User Model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmartUserModel {
+    /// Owner.
+    pub user: UserId,
+    /// Attribute estimates in `[0, 1]`, indexed by `AttributeId`.
+    values: Vec<f64>,
+    /// Per-attribute relevance (confidence × importance) in `[0, 1]`.
+    relevance: Vec<f64>,
+    /// Per-emotional-attribute count of EIT answers incorporated.
+    eit_answers: [u32; 10],
+    /// Total update events applied.
+    updates: u64,
+}
+
+impl SmartUserModel {
+    /// Fresh, empty model for a 75-attribute schema (or any `dim`).
+    pub fn new(user: UserId, dim: usize) -> Self {
+        Self { user, values: vec![0.0; dim], relevance: vec![0.0; dim], eit_answers: [0; 10], updates: 0 }
+    }
+
+    /// Attribute dimensionality.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Current estimate for an attribute.
+    pub fn value(&self, attr: AttributeId) -> f64 {
+        self.values.get(attr.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Current relevance weight for an attribute.
+    pub fn relevance(&self, attr: AttributeId) -> f64 {
+        self.relevance.get(attr.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Number of updates applied so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// EIT answers incorporated per emotional attribute (paper order).
+    pub fn eit_answer_counts(&self) -> &[u32; 10] {
+        &self.eit_answers
+    }
+
+    fn check(&self, attr: AttributeId) -> Result<()> {
+        if attr.index() >= self.values.len() {
+            return Err(SpaError::DimensionMismatch {
+                got: attr.index() + 1,
+                expected: self.values.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Imports a directly observed (objective) attribute: full
+    /// relevance, exact value.
+    pub fn set_observed(&mut self, attr: AttributeId, value: f64) -> Result<()> {
+        self.check(attr)?;
+        self.values[attr.index()] = value.clamp(0.0, 1.0);
+        self.relevance[attr.index()] = 1.0;
+        self.updates += 1;
+        Ok(())
+    }
+
+    /// Folds in a noisy observation of a subjective attribute (running
+    /// exponential average, growing relevance).
+    pub fn observe_subjective(&mut self, attr: AttributeId, value: f64, config: &SumConfig) -> Result<()> {
+        self.check(attr)?;
+        let i = attr.index();
+        let blend = 0.3;
+        self.values[i] = if self.relevance[i] == 0.0 {
+            value.clamp(0.0, 1.0)
+        } else {
+            (1.0 - blend) * self.values[i] + blend * value.clamp(0.0, 1.0)
+        };
+        self.relevance[i] = (self.relevance[i] + config.relevance_gain).min(1.0);
+        self.updates += 1;
+        Ok(())
+    }
+
+    /// **Initialization stage** — incorporates one Gradual-EIT answer
+    /// for the emotional attribute at schema position `attr`.
+    ///
+    /// The expressed [`Valence`] is mapped to a `[0, 1]` sensibility
+    /// and blended into the estimate; relevance grows with every
+    /// answer. `emo_ordinal` is the attribute's position among the ten
+    /// emotional attributes.
+    pub fn apply_eit_answer(
+        &mut self,
+        attr: AttributeId,
+        emo_ordinal: usize,
+        answer: Valence,
+        config: &SumConfig,
+    ) -> Result<()> {
+        self.check(attr)?;
+        if emo_ordinal >= 10 {
+            return Err(SpaError::Invalid(format!("emotional ordinal {emo_ordinal} out of range")));
+        }
+        let sensed = (answer.value() + 1.0) / 2.0;
+        let i = attr.index();
+        self.values[i] = if self.eit_answers[emo_ordinal] == 0 {
+            sensed
+        } else {
+            (1.0 - config.eit_blend) * self.values[i] + config.eit_blend * sensed
+        };
+        self.relevance[i] = (self.relevance[i] + config.relevance_gain).min(1.0);
+        self.eit_answers[emo_ordinal] += 1;
+        self.updates += 1;
+        Ok(())
+    }
+
+    /// **Update stage, reward** — the user opened / acted on a message
+    /// appealing to `attrs`: reinforce those attributes (Fig 4).
+    pub fn reward(&mut self, attrs: &[AttributeId], config: &SumConfig) -> Result<()> {
+        for &attr in attrs {
+            self.check(attr)?;
+            let i = attr.index();
+            self.values[i] += (1.0 - self.values[i]) * config.reward_rate;
+            self.relevance[i] = (self.relevance[i] + config.relevance_gain / 2.0).min(1.0);
+        }
+        self.updates += 1;
+        Ok(())
+    }
+
+    /// **Update stage, punish** — the user ignored a message appealing
+    /// to `attrs`: weaken those attributes.
+    pub fn punish(&mut self, attrs: &[AttributeId], config: &SumConfig) -> Result<()> {
+        for &attr in attrs {
+            self.check(attr)?;
+            let i = attr.index();
+            self.values[i] -= self.values[i] * config.punish_rate;
+        }
+        self.updates += 1;
+        Ok(())
+    }
+
+    /// Plain feature row: attribute estimates where relevance > 0
+    /// (unobserved attributes stay absent — the sparsity the paper
+    /// fights). Values are floored at a tiny epsilon so an observed
+    /// zero still registers as present.
+    pub fn feature_row(&self) -> SparseVec {
+        let pairs = self
+            .values
+            .iter()
+            .zip(self.relevance.iter())
+            .enumerate()
+            .filter(|&(_, (_, &r))| r > 0.0)
+            .map(|(i, (&v, _))| (i as u32, v.max(1e-9)));
+        SparseVec::from_pairs(self.values.len(), pairs).expect("indices are in range")
+    }
+
+    /// **Advice stage** — the activated/inhibited feature row handed to
+    /// recommenders: each *emotional* attribute is scaled by
+    /// `1 + valence · relevance`, so attraction-valenced attributes are
+    /// amplified and aversion-valenced ones damped, in proportion to
+    /// how well-established they are.
+    pub fn advice_row(&self, schema: &AttributeSchema) -> Result<SparseVec> {
+        if schema.len() != self.values.len() {
+            return Err(SpaError::DimensionMismatch {
+                got: schema.len(),
+                expected: self.values.len(),
+            });
+        }
+        let pairs = self
+            .values
+            .iter()
+            .zip(self.relevance.iter())
+            .enumerate()
+            .filter(|&(_, (_, &r))| r > 0.0)
+            .map(|(i, (&v, &r))| {
+                let def = schema.get(AttributeId::new(i as u32)).expect("len checked");
+                let factor = if def.kind == AttributeKind::Emotional {
+                    (1.0 + def.valence.value() * r).max(0.0)
+                } else {
+                    1.0
+                };
+                (i as u32, (v * factor).max(1e-9))
+            });
+        SparseVec::from_pairs(self.values.len(), pairs)
+    }
+
+    /// Emotional attributes whose estimate exceeds the configured
+    /// sensibility threshold, sorted by estimate descending — the
+    /// "dominant sensibilities" of §5.3. `emotional_ids` is the schema's
+    /// emotional block (see [`AttributeSchema::emotional_ids`]).
+    pub fn dominant_sensibilities(
+        &self,
+        emotional_ids: &[AttributeId],
+        config: &SumConfig,
+    ) -> Vec<(AttributeId, f64)> {
+        let mut out: Vec<(AttributeId, f64)> = emotional_ids
+            .iter()
+            .filter(|&&a| self.relevance(a) > 0.0)
+            .map(|&a| (a, self.value(a)))
+            .filter(|&(_, v)| v >= config.sensibility_threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+}
+
+/// Concurrent registry of SUMs for a whole population, persistable via
+/// [`spa_store::ProfileStore`] snapshots.
+pub struct SumRegistry {
+    dim: usize,
+    config: SumConfig,
+    shards: Vec<RwLock<HashMap<u32, SmartUserModel>>>,
+}
+
+const SHARDS: usize = 32;
+
+impl SumRegistry {
+    /// Creates an empty registry for `dim`-attribute models.
+    pub fn new(dim: usize, config: SumConfig) -> Self {
+        Self {
+            dim,
+            config,
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// The update-rule configuration.
+    pub fn config(&self) -> &SumConfig {
+        &self.config
+    }
+
+    /// Attribute dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn shard(&self, user: UserId) -> &RwLock<HashMap<u32, SmartUserModel>> {
+        &self.shards[user.raw() as usize % SHARDS]
+    }
+
+    /// Number of models stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no models are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clones the model for `user`, if present.
+    pub fn get(&self, user: UserId) -> Option<SmartUserModel> {
+        self.shard(user).read().get(&user.raw()).cloned()
+    }
+
+    /// Applies `f` to the model for `user`, creating it when absent.
+    pub fn with_model<T>(&self, user: UserId, f: impl FnOnce(&mut SmartUserModel, &SumConfig) -> T) -> T {
+        let mut shard = self.shard(user).write();
+        let model =
+            shard.entry(user.raw()).or_insert_with(|| SmartUserModel::new(user, self.dim));
+        f(model, &self.config)
+    }
+
+    /// Sorted user ids present in the registry.
+    pub fn user_ids(&self) -> Vec<UserId> {
+        let mut ids: Vec<UserId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().map(|&k| UserId::new(k)).collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Persists the registry into a [`ProfileStore`] snapshot layout:
+    /// `[values(dim) ++ relevance(dim) ++ eit_counts(10)]`.
+    pub fn to_profile_store(&self) -> ProfileStore {
+        let store = ProfileStore::new(self.dim * 2 + 10);
+        for user in self.user_ids() {
+            let model = self.get(user).expect("listed user exists");
+            let mut values = Vec::with_capacity(self.dim * 2 + 10);
+            values.extend_from_slice(&model.values);
+            values.extend_from_slice(&model.relevance);
+            values.extend(model.eit_answers.iter().map(|&c| c as f64));
+            store
+                .put(
+                    user,
+                    UserProfile {
+                        values,
+                        updates: model.updates,
+                        last_update: Timestamp::from_millis(0),
+                    },
+                )
+                .expect("dimensions line up by construction");
+        }
+        store
+    }
+
+    /// Restores a registry from the layout written by
+    /// [`Self::to_profile_store`].
+    pub fn from_profile_store(store: &ProfileStore, dim: usize, config: SumConfig) -> Result<Self> {
+        if store.dim() != dim * 2 + 10 {
+            return Err(SpaError::DimensionMismatch { got: store.dim(), expected: dim * 2 + 10 });
+        }
+        let registry = SumRegistry::new(dim, config);
+        let mut error: Option<SpaError> = None;
+        store.for_each(|user, profile| {
+            if error.is_some() {
+                return;
+            }
+            let values = profile.values[..dim].to_vec();
+            let relevance = profile.values[dim..2 * dim].to_vec();
+            let mut eit_answers = [0u32; 10];
+            for (i, slot) in eit_answers.iter_mut().enumerate() {
+                let c = profile.values[2 * dim + i];
+                if c < 0.0 || c.fract() != 0.0 {
+                    error = Some(SpaError::Corrupt(format!(
+                        "eit counter {c} for {user} is not a whole number"
+                    )));
+                    return;
+                }
+                *slot = c as u32;
+            }
+            let model =
+                SmartUserModel { user, values, relevance, eit_answers, updates: profile.updates };
+            registry.shard(user).write().insert(user.raw(), model);
+        });
+        match error {
+            Some(e) => Err(e),
+            None => Ok(registry),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spa_types::EMOTIONAL_ATTRIBUTES;
+
+    fn schema() -> AttributeSchema {
+        AttributeSchema::emagister()
+    }
+
+    fn emo_attr(schema: &AttributeSchema, ordinal: usize) -> AttributeId {
+        schema.emotional_ids()[ordinal]
+    }
+
+    #[test]
+    fn fresh_model_is_empty() {
+        let m = SmartUserModel::new(UserId::new(1), 75);
+        assert_eq!(m.dim(), 75);
+        assert_eq!(m.feature_row().nnz(), 0);
+        assert_eq!(m.updates(), 0);
+    }
+
+    #[test]
+    fn observed_attributes_have_full_relevance() {
+        let mut m = SmartUserModel::new(UserId::new(1), 75);
+        m.set_observed(AttributeId::new(3), 0.7).unwrap();
+        assert_eq!(m.value(AttributeId::new(3)), 0.7);
+        assert_eq!(m.relevance(AttributeId::new(3)), 1.0);
+        assert!(m.set_observed(AttributeId::new(99), 0.5).is_err());
+        // clamped
+        m.set_observed(AttributeId::new(4), 7.0).unwrap();
+        assert_eq!(m.value(AttributeId::new(4)), 1.0);
+    }
+
+    #[test]
+    fn first_eit_answer_sets_the_estimate() {
+        let s = schema();
+        let mut m = SmartUserModel::new(UserId::new(1), 75);
+        let attr = emo_attr(&s, 0);
+        m.apply_eit_answer(attr, 0, Valence::new(0.6), &SumConfig::default()).unwrap();
+        // sensibility = (0.6 + 1)/2 = 0.8
+        assert!((m.value(attr) - 0.8).abs() < 1e-12);
+        assert_eq!(m.eit_answer_counts()[0], 1);
+    }
+
+    #[test]
+    fn repeated_answers_blend_toward_truth() {
+        let s = schema();
+        let config = SumConfig::default();
+        let mut m = SmartUserModel::new(UserId::new(1), 75);
+        let attr = emo_attr(&s, 2);
+        // truth 0.9 expressed repeatedly
+        for _ in 0..12 {
+            m.apply_eit_answer(attr, 2, Valence::new(0.8), &config).unwrap();
+        }
+        assert!((m.value(attr) - 0.9).abs() < 0.02);
+        assert!(m.relevance(attr) > 0.9, "relevance accumulates");
+    }
+
+    #[test]
+    fn eit_answer_validates_ordinal() {
+        let mut m = SmartUserModel::new(UserId::new(1), 75);
+        assert!(m
+            .apply_eit_answer(AttributeId::new(70), 10, Valence::NEUTRAL, &SumConfig::default())
+            .is_err());
+    }
+
+    #[test]
+    fn reward_raises_and_punish_lowers() {
+        let s = schema();
+        let config = SumConfig::default();
+        let mut m = SmartUserModel::new(UserId::new(1), 75);
+        let attr = emo_attr(&s, 1);
+        m.apply_eit_answer(attr, 1, Valence::NEUTRAL, &config).unwrap(); // 0.5
+        let before = m.value(attr);
+        m.reward(&[attr], &config).unwrap();
+        let after_reward = m.value(attr);
+        assert!(after_reward > before);
+        m.punish(&[attr], &config).unwrap();
+        assert!(m.value(attr) < after_reward);
+        assert!(m.value(attr) >= 0.0);
+    }
+
+    #[test]
+    fn reward_never_exceeds_one_punish_never_below_zero() {
+        let s = schema();
+        let config = SumConfig::default();
+        let mut m = SmartUserModel::new(UserId::new(1), 75);
+        let attr = emo_attr(&s, 0);
+        m.apply_eit_answer(attr, 0, Valence::MAX, &config).unwrap();
+        for _ in 0..100 {
+            m.reward(&[attr], &config).unwrap();
+        }
+        assert!(m.value(attr) <= 1.0);
+        for _ in 0..500 {
+            m.punish(&[attr], &config).unwrap();
+        }
+        assert!(m.value(attr) >= 0.0);
+    }
+
+    #[test]
+    fn feature_row_only_contains_observed_attributes() {
+        let s = schema();
+        let config = SumConfig::default();
+        let mut m = SmartUserModel::new(UserId::new(1), 75);
+        m.set_observed(AttributeId::new(0), 0.5).unwrap();
+        m.apply_eit_answer(emo_attr(&s, 3), 3, Valence::new(0.2), &config).unwrap();
+        let row = m.feature_row();
+        assert_eq!(row.nnz(), 2);
+        assert_eq!(row.dim(), 75);
+    }
+
+    #[test]
+    fn advice_row_activates_positive_and_inhibits_negative() {
+        let s = schema();
+        let config = SumConfig::default();
+        let mut m = SmartUserModel::new(UserId::new(1), 75);
+        // enthusiastic (ordinal 0, valence +1) and apathetic (ordinal 9,
+        // valence −1), both at estimate 0.5 with relevance grown
+        let enthusiastic = emo_attr(&s, 0);
+        let apathetic = emo_attr(&s, 9);
+        for _ in 0..5 {
+            m.apply_eit_answer(enthusiastic, 0, Valence::NEUTRAL, &config).unwrap();
+            m.apply_eit_answer(apathetic, 9, Valence::NEUTRAL, &config).unwrap();
+        }
+        let plain = m.feature_row();
+        let advised = m.advice_row(&s).unwrap();
+        assert!(
+            advised.get(enthusiastic.raw()) > plain.get(enthusiastic.raw()),
+            "positive valence activates"
+        );
+        assert!(
+            advised.get(apathetic.raw()) < plain.get(apathetic.raw()),
+            "negative valence inhibits"
+        );
+        // non-emotional attributes pass through unchanged
+        m.set_observed(AttributeId::new(0), 0.4).unwrap();
+        let advised = m.advice_row(&s).unwrap();
+        assert!((advised.get(0) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advice_row_checks_schema_dimension() {
+        let m = SmartUserModel::new(UserId::new(1), 10);
+        assert!(m.advice_row(&schema()).is_err());
+    }
+
+    #[test]
+    fn dominant_sensibilities_sorted_and_thresholded() {
+        let s = schema();
+        let config = SumConfig::default();
+        let mut m = SmartUserModel::new(UserId::new(1), 75);
+        let ids = s.emotional_ids();
+        m.apply_eit_answer(ids[0], 0, Valence::new(0.9), &config).unwrap(); // 0.95
+        m.apply_eit_answer(ids[1], 1, Valence::new(0.4), &config).unwrap(); // 0.70
+        m.apply_eit_answer(ids[2], 2, Valence::new(-0.5), &config).unwrap(); // 0.25
+        let dom = m.dominant_sensibilities(&ids, &config);
+        assert_eq!(dom.len(), 2, "0.25 is below the 0.6 threshold");
+        assert_eq!(dom[0].0, ids[0]);
+        assert_eq!(dom[1].0, ids[1]);
+        assert!(dom[0].1 > dom[1].1);
+    }
+
+    #[test]
+    fn registry_creates_on_demand_and_counts() {
+        let reg = SumRegistry::new(75, SumConfig::default());
+        assert!(reg.is_empty());
+        reg.with_model(UserId::new(5), |m, _| {
+            m.set_observed(AttributeId::new(1), 0.3).unwrap();
+        });
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get(UserId::new(5)).unwrap().value(AttributeId::new(1)), 0.3);
+        assert!(reg.get(UserId::new(6)).is_none());
+    }
+
+    #[test]
+    fn registry_round_trips_through_profile_store() {
+        let s = schema();
+        let reg = SumRegistry::new(75, SumConfig::default());
+        for id in 0..50u32 {
+            reg.with_model(UserId::new(id), |m, config| {
+                m.set_observed(AttributeId::new(id % 40), id as f64 / 50.0).unwrap();
+                m.apply_eit_answer(
+                    s.emotional_ids()[(id % 10) as usize],
+                    (id % 10) as usize,
+                    Valence::new(0.1),
+                    config,
+                )
+                .unwrap();
+            });
+        }
+        let store = reg.to_profile_store();
+        let restored = SumRegistry::from_profile_store(&store, 75, SumConfig::default()).unwrap();
+        assert_eq!(restored.len(), 50);
+        for id in 0..50u32 {
+            assert_eq!(restored.get(UserId::new(id)), reg.get(UserId::new(id)));
+        }
+    }
+
+    #[test]
+    fn registry_restore_validates_dimensions() {
+        let store = ProfileStore::new(10);
+        assert!(SumRegistry::from_profile_store(&store, 75, SumConfig::default()).is_err());
+    }
+
+    #[test]
+    fn registry_is_thread_safe() {
+        let reg = std::sync::Arc::new(SumRegistry::new(75, SumConfig::default()));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    reg.with_model(UserId::new((t * 1000 + i) % 100), |m, _| {
+                        m.set_observed(AttributeId::new(0), 0.5).unwrap();
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.len(), 100);
+    }
+
+    #[test]
+    fn emotional_ordinals_align_with_paper_order() {
+        // guard: the ten emotional attributes of the schema appear in
+        // EMOTIONAL_ATTRIBUTES order, so ordinal ↔ attribute mapping is
+        // stable across the codebase
+        let s = schema();
+        for (ordinal, id) in s.emotional_ids().into_iter().enumerate() {
+            assert_eq!(s.get(id).unwrap().name, EMOTIONAL_ATTRIBUTES[ordinal].name());
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Dense and CSR sparse matrices.
+
+use crate::sparse::SparseVec;
+use spa_types::{Result, SpaError};
+
+/// Row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a flat row-major buffer.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(SpaError::DimensionMismatch { got: data.len(), expected: rows * cols });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable row view.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row view.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix–vector product `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(SpaError::DimensionMismatch { got: x.len(), expected: self.cols });
+        }
+        Ok((0..self.rows).map(|r| crate::dense::dot(self.row(r), x)).collect())
+    }
+}
+
+/// Compressed sparse row matrix: the dataset container for training.
+///
+/// Rows are [`SparseVec`]-shaped but share three flat buffers, which
+/// keeps millions of user rows in a handful of allocations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CsrMatrix {
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Empty matrix with `cols` columns and no rows.
+    pub fn new(cols: usize) -> Self {
+        Self { cols, indptr: vec![0], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Builds from an iterator of sparse rows (all must share `cols`).
+    pub fn from_rows<'a>(
+        cols: usize,
+        rows: impl IntoIterator<Item = &'a SparseVec>,
+    ) -> Result<Self> {
+        let mut m = Self::new(cols);
+        for row in rows {
+            m.push_row(row)?;
+        }
+        Ok(m)
+    }
+
+    /// Appends one sparse row.
+    pub fn push_row(&mut self, row: &SparseVec) -> Result<()> {
+        if row.dim() != self.cols {
+            return Err(SpaError::DimensionMismatch { got: row.dim(), expected: self.cols });
+        }
+        self.indices.extend_from_slice(row.indices());
+        self.values.extend_from_slice(row.values());
+        self.indptr.push(self.indices.len());
+        Ok(())
+    }
+
+    /// Appends a row directly from `(index, value)` pairs, which must be
+    /// sorted by index with no duplicates or zeros (not re-verified in
+    /// release builds — use [`SparseVec`] if the input is untrusted).
+    pub fn push_row_raw(&mut self, pairs: &[(u32, f64)]) {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "raw row must be sorted");
+        for &(i, v) in pairs {
+            debug_assert!((i as usize) < self.cols && v != 0.0);
+            self.indices.push(i);
+            self.values.push(v);
+        }
+        self.indptr.push(self.indices.len());
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Overall sparsity (fraction of zero cells; 1.0 when empty).
+    pub fn sparsity(&self) -> f64 {
+        let cells = self.rows() * self.cols;
+        if cells == 0 {
+            1.0
+        } else {
+            1.0 - self.nnz() as f64 / cells as f64
+        }
+    }
+
+    /// Borrowed view of row `r` as `(indices, values)`.
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Copies row `r` into an owned [`SparseVec`].
+    pub fn row_vec(&self, r: usize) -> SparseVec {
+        let (idx, val) = self.row(r);
+        SparseVec::from_pairs(self.cols, idx.iter().copied().zip(val.iter().copied()))
+            .expect("stored rows are valid")
+    }
+
+    /// Dot product of row `r` with a dense vector.
+    pub fn row_dot_dense(&self, r: usize, dense: &[f64]) -> f64 {
+        debug_assert_eq!(dense.len(), self.cols);
+        let (idx, val) = self.row(r);
+        idx.iter().zip(val.iter()).map(|(&i, &v)| v * dense[i as usize]).sum()
+    }
+
+    /// `dense += alpha * row_r` (sparse axpy on a stored row).
+    pub fn row_add_scaled_into(&self, r: usize, alpha: f64, dense: &mut [f64]) {
+        debug_assert_eq!(dense.len(), self.cols);
+        let (idx, val) = self.row(r);
+        for (&i, &v) in idx.iter().zip(val.iter()) {
+            dense[i as usize] += alpha * v;
+        }
+    }
+
+    /// Iterates over `(row_index, indices, values)` triples.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (usize, &[u32], &[f64])> {
+        (0..self.rows()).map(move |r| {
+            let (i, v) = self.row(r);
+            (r, i, v)
+        })
+    }
+
+    /// Column L2 norms (used by scalers and feature selection).
+    pub fn col_norms(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.cols];
+        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
+            acc[i as usize] += v * v;
+        }
+        for a in acc.iter_mut() {
+            *a = a.sqrt();
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        let rows = [
+            SparseVec::from_pairs(4, [(0, 1.0), (2, 2.0)]).unwrap(),
+            SparseVec::from_pairs(4, [(1, -1.0)]).unwrap(),
+            SparseVec::zeros(4),
+        ];
+        CsrMatrix::from_rows(4, rows.iter()).unwrap()
+    }
+
+    #[test]
+    fn dense_matrix_basics() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        m.row_mut(0)[0] = 1.0;
+        assert_eq!(m.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn dense_from_flat_checks_size() {
+        assert!(DenseMatrix::from_flat(2, 2, vec![1.0; 3]).is_err());
+        let m = DenseMatrix::from_flat(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn dense_matvec() {
+        let m = DenseMatrix::from_flat(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn csr_shape_and_rows() {
+        let m = sample();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row(0), (&[0u32, 2][..], &[1.0, 2.0][..]));
+        assert_eq!(m.row(2), (&[][..], &[][..]));
+    }
+
+    #[test]
+    fn csr_rejects_mismatched_rows() {
+        let mut m = CsrMatrix::new(4);
+        assert!(m.push_row(&SparseVec::zeros(3)).is_err());
+        assert_eq!(m.rows(), 0);
+    }
+
+    #[test]
+    fn csr_row_vec_round_trip() {
+        let m = sample();
+        let r0 = m.row_vec(0);
+        assert_eq!(r0.get(2), 2.0);
+        assert_eq!(r0.dim(), 4);
+    }
+
+    #[test]
+    fn csr_row_dot_and_axpy() {
+        let m = sample();
+        let w = [1.0, 10.0, 100.0, 1000.0];
+        assert_eq!(m.row_dot_dense(0, &w), 1.0 + 200.0);
+        assert_eq!(m.row_dot_dense(1, &w), -10.0);
+        let mut acc = vec![0.0; 4];
+        m.row_add_scaled_into(0, 2.0, &mut acc);
+        assert_eq!(acc, vec![2.0, 0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn csr_sparsity() {
+        let m = sample();
+        assert!((m.sparsity() - (1.0 - 3.0 / 12.0)).abs() < 1e-12);
+        assert_eq!(CsrMatrix::new(5).sparsity(), 1.0);
+    }
+
+    #[test]
+    fn csr_col_norms() {
+        let m = sample();
+        let n = m.col_norms();
+        assert_eq!(n, vec![1.0, 1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn csr_push_row_raw_matches_push_row() {
+        let mut a = CsrMatrix::new(4);
+        a.push_row_raw(&[(1, 2.0), (3, 4.0)]);
+        let mut b = CsrMatrix::new(4);
+        b.push_row(&SparseVec::from_pairs(4, [(1, 2.0), (3, 4.0)]).unwrap()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csr_iter_rows_covers_all() {
+        let m = sample();
+        let collected: Vec<usize> = m.iter_rows().map(|(r, _, _)| r).collect();
+        assert_eq!(collected, vec![0, 1, 2]);
+    }
+}

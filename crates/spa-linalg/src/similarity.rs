@@ -1,0 +1,148 @@
+//! Similarity measures between sparse vectors.
+//!
+//! These back the collaborative-filtering baselines (user-kNN /
+//! item-kNN) that the emotional pipeline is compared against in the
+//! ablation experiment (E7).
+
+use crate::sparse::SparseVec;
+
+/// Cosine similarity; 0 when either vector is zero.
+pub fn cosine(a: &SparseVec, b: &SparseVec) -> f64 {
+    let (na, nb) = (a.norm2(), b.norm2());
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        a.dot(b) / (na * nb)
+    }
+}
+
+/// Pearson correlation computed over the *union* of stored indices
+/// (absent entries are zeros). Returns 0 when either side is constant.
+pub fn pearson(a: &SparseVec, b: &SparseVec) -> f64 {
+    debug_assert_eq!(a.dim(), b.dim());
+    let n = a.dim() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let sum_a: f64 = a.values().iter().sum();
+    let sum_b: f64 = b.values().iter().sum();
+    let (mean_a, mean_b) = (sum_a / n, sum_b / n);
+    // E[xy] over all coordinates: only union of supports contributes.
+    let dot = a.dot(b);
+    let sq_a: f64 = a.values().iter().map(|v| v * v).sum();
+    let sq_b: f64 = b.values().iter().map(|v| v * v).sum();
+    let cov = dot / n - mean_a * mean_b;
+    let var_a = sq_a / n - mean_a * mean_a;
+    let var_b = sq_b / n - mean_b * mean_b;
+    if var_a <= 1e-15 || var_b <= 1e-15 {
+        0.0
+    } else {
+        (cov / (var_a.sqrt() * var_b.sqrt())).clamp(-1.0, 1.0)
+    }
+}
+
+/// Jaccard similarity of the supports (which coordinates are non-zero).
+pub fn jaccard(a: &SparseVec, b: &SparseVec) -> f64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let (ia, ib) = (a.indices(), b.indices());
+    let mut inter = 0usize;
+    while i < ia.len() && j < ib.len() {
+        match ia[i].cmp(&ib[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = ia.len() + ib.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sv(dim: usize, pairs: &[(u32, f64)]) -> SparseVec {
+        SparseVec::from_pairs(dim, pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn cosine_of_identical_is_one() {
+        let a = sv(5, &[(0, 1.0), (3, 2.0)]);
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_disjoint_supports_is_zero() {
+        let a = sv(5, &[(0, 1.0)]);
+        let b = sv(5, &[(1, 1.0)]);
+        assert_eq!(cosine(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        let a = sv(5, &[(0, 1.0)]);
+        assert_eq!(cosine(&a, &SparseVec::zeros(5)), 0.0);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_linear_relation() {
+        let a = sv(4, &[(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]);
+        let b = sv(4, &[(0, 2.0), (1, 4.0), (2, 6.0), (3, 8.0)]);
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_detects_anticorrelation() {
+        let a = sv(4, &[(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]);
+        let b = sv(4, &[(0, 4.0), (1, 3.0), (2, 2.0), (3, 1.0)]);
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero() {
+        let a = sv(3, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        let b = sv(3, &[(0, 1.0), (1, 2.0), (2, 3.0)]);
+        assert_eq!(pearson(&a, &b), 0.0);
+        assert_eq!(pearson(&SparseVec::zeros(0), &SparseVec::zeros(0)), 0.0);
+    }
+
+    #[test]
+    fn jaccard_counts_support_overlap() {
+        let a = sv(6, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        let b = sv(6, &[(1, 9.0), (2, 9.0), (3, 9.0)]);
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12, "2 shared / 4 union");
+        assert_eq!(jaccard(&SparseVec::zeros(6), &SparseVec::zeros(6)), 0.0);
+        assert_eq!(jaccard(&a, &a), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn similarities_are_symmetric_and_bounded(
+            pa in proptest::collection::vec((0u32..16, -5f64..5.0), 0..10),
+            pb in proptest::collection::vec((0u32..16, -5f64..5.0), 0..10),
+        ) {
+            let dedup = |ps: Vec<(u32, f64)>| {
+                let mut seen = std::collections::HashMap::new();
+                for (i, v) in ps { seen.insert(i, v); }
+                seen.into_iter().collect::<Vec<_>>()
+            };
+            let a = SparseVec::from_pairs(16, dedup(pa)).unwrap();
+            let b = SparseVec::from_pairs(16, dedup(pb)).unwrap();
+            for f in [cosine, pearson, jaccard] {
+                let s1 = f(&a, &b);
+                let s2 = f(&b, &a);
+                prop_assert!((s1 - s2).abs() < 1e-9);
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s1));
+            }
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Sorted sparse vectors.
+//!
+//! A [`SparseVec`] stores `(index, value)` pairs with strictly increasing
+//! `u32` indices in two parallel vectors — the classic coordinate layout
+//! that makes dot products a linear merge and keeps per-entry overhead at
+//! 12 bytes. Explicit zeros are never stored.
+
+use spa_types::{Result, SpaError};
+
+/// Sparse vector with sorted indices and no explicit zeros.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVec {
+    dim: usize,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseVec {
+    /// An all-zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Self { dim, indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Builds from `(index, value)` pairs in any order.
+    ///
+    /// Zero values are dropped; duplicate indices and out-of-range
+    /// indices are rejected.
+    pub fn from_pairs(dim: usize, pairs: impl IntoIterator<Item = (u32, f64)>) -> Result<Self> {
+        let mut entries: Vec<(u32, f64)> =
+            pairs.into_iter().filter(|&(_, v)| v != 0.0).collect();
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        let mut indices = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        for (i, v) in entries {
+            if (i as usize) >= dim {
+                return Err(SpaError::DimensionMismatch { got: i as usize + 1, expected: dim });
+            }
+            if indices.last() == Some(&i) {
+                return Err(SpaError::Invalid(format!("duplicate sparse index {i}")));
+            }
+            if !v.is_finite() {
+                return Err(SpaError::Invalid(format!("non-finite value at index {i}")));
+            }
+            indices.push(i);
+            values.push(v);
+        }
+        Ok(Self { dim, indices, values })
+    }
+
+    /// Builds from a dense slice, dropping zeros.
+    pub fn from_dense(dense: &[f64]) -> Self {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                indices.push(i as u32);
+                values.push(v);
+            }
+        }
+        Self { dim: dense.len(), indices, values }
+    }
+
+    /// Dimension (logical length).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored (non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Fraction of dimensions that are zero (1.0 for the empty vector).
+    pub fn sparsity(&self) -> f64 {
+        if self.dim == 0 {
+            1.0
+        } else {
+            1.0 - self.nnz() as f64 / self.dim as f64
+        }
+    }
+
+    /// Value at `index` (0 when not stored).
+    pub fn get(&self, index: u32) -> f64 {
+        match self.indices.binary_search(&index) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sets `index` to `value` (inserting, updating or removing).
+    ///
+    /// # Errors
+    /// Out-of-range index or non-finite value.
+    pub fn set(&mut self, index: u32, value: f64) -> Result<()> {
+        if (index as usize) >= self.dim {
+            return Err(SpaError::DimensionMismatch {
+                got: index as usize + 1,
+                expected: self.dim,
+            });
+        }
+        if !value.is_finite() {
+            return Err(SpaError::Invalid(format!("non-finite value at index {index}")));
+        }
+        match self.indices.binary_search(&index) {
+            Ok(pos) => {
+                if value == 0.0 {
+                    self.indices.remove(pos);
+                    self.values.remove(pos);
+                } else {
+                    self.values[pos] = value;
+                }
+            }
+            Err(pos) => {
+                if value != 0.0 {
+                    self.indices.insert(pos, index);
+                    self.values.insert(pos, value);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterates over stored `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Stored indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Stored values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Materializes as a dense vector.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        for (i, v) in self.iter() {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Sparse·sparse dot product (linear merge over stored entries).
+    pub fn dot(&self, other: &SparseVec) -> f64 {
+        debug_assert_eq!(self.dim, other.dim, "sparse dot: dimension mismatch");
+        let (mut i, mut j, mut acc) = (0usize, 0usize, 0.0f64);
+        while i < self.indices.len() && j < other.indices.len() {
+            match self.indices[i].cmp(&other.indices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.values[i] * other.values[j];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Sparse·dense dot product.
+    pub fn dot_dense(&self, dense: &[f64]) -> f64 {
+        debug_assert_eq!(self.dim, dense.len(), "sparse dot_dense: dimension mismatch");
+        self.iter().map(|(i, v)| v * dense[i as usize]).sum()
+    }
+
+    /// `dense += alpha * self` — the sparse axpy used by SGD weight
+    /// updates, touching only stored entries.
+    pub fn add_scaled_into(&self, alpha: f64, dense: &mut [f64]) {
+        debug_assert_eq!(self.dim, dense.len(), "sparse axpy: dimension mismatch");
+        for (i, v) in self.iter() {
+            dense[i as usize] += alpha * v;
+        }
+    }
+
+    /// L2 norm over stored entries.
+    pub fn norm2(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Restriction of this vector to `keep` (a sorted set of indices is
+    /// not required): entries outside `keep` are dropped, the dimension
+    /// is preserved. Used by SVM-weight feature selection to mask
+    /// attribute groups.
+    pub fn masked(&self, keep: impl Fn(u32) -> bool) -> SparseVec {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, v) in self.iter() {
+            if keep(i) {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        SparseVec { dim: self.dim, indices, values }
+    }
+
+    /// Concatenates two sparse vectors (`self ⧺ other`), producing a
+    /// vector of dimension `self.dim + other.dim`. Used to join
+    /// objective/subjective features with the emotional block.
+    pub fn concat(&self, other: &SparseVec) -> SparseVec {
+        let mut indices = self.indices.clone();
+        let mut values = self.values.clone();
+        let offset = self.dim as u32;
+        indices.extend(other.indices.iter().map(|&i| i + offset));
+        values.extend_from_slice(&other.values);
+        SparseVec { dim: self.dim + other.dim, indices, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sv(dim: usize, pairs: &[(u32, f64)]) -> SparseVec {
+        SparseVec::from_pairs(dim, pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_drops_zeros() {
+        let v = sv(10, &[(7, 2.0), (1, 3.0), (4, 0.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.indices(), &[1, 7]);
+        assert_eq!(v.get(1), 3.0);
+        assert_eq!(v.get(4), 0.0);
+    }
+
+    #[test]
+    fn from_pairs_rejects_duplicates_and_out_of_range() {
+        assert!(SparseVec::from_pairs(4, [(1, 1.0), (1, 2.0)]).is_err());
+        assert!(SparseVec::from_pairs(4, [(4, 1.0)]).is_err());
+        assert!(SparseVec::from_pairs(4, [(0, f64::INFINITY)]).is_err());
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let dense = vec![0.0, 1.5, 0.0, -2.0];
+        let v = SparseVec::from_dense(&dense);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.to_dense(), dense);
+    }
+
+    #[test]
+    fn set_inserts_updates_removes() {
+        let mut v = SparseVec::zeros(5);
+        v.set(3, 2.0).unwrap();
+        assert_eq!(v.get(3), 2.0);
+        v.set(3, 4.0).unwrap();
+        assert_eq!(v.get(3), 4.0);
+        v.set(3, 0.0).unwrap();
+        assert_eq!(v.nnz(), 0, "setting zero removes the entry");
+        assert!(v.set(5, 1.0).is_err());
+        assert!(v.set(1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn sparse_dot_matches_dense_dot() {
+        let a = sv(6, &[(0, 1.0), (2, 2.0), (5, 3.0)]);
+        let b = sv(6, &[(2, 4.0), (3, 9.0), (5, -1.0)]);
+        assert_eq!(a.dot(&b), 2.0 * 4.0 - 3.0);
+        assert_eq!(a.dot(&b), b.dot(&a));
+    }
+
+    #[test]
+    fn dot_dense_and_axpy() {
+        let a = sv(4, &[(1, 2.0), (3, -1.0)]);
+        let d = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(a.dot_dense(&d), 2.0 * 20.0 - 40.0);
+        let mut acc = vec![0.0; 4];
+        a.add_scaled_into(2.0, &mut acc);
+        assert_eq!(acc, vec![0.0, 4.0, 0.0, -2.0]);
+    }
+
+    #[test]
+    fn sparsity_fraction() {
+        assert_eq!(SparseVec::zeros(0).sparsity(), 1.0);
+        assert_eq!(sv(4, &[(0, 1.0)]).sparsity(), 0.75);
+    }
+
+    #[test]
+    fn masked_keeps_dimension() {
+        let v = sv(6, &[(0, 1.0), (2, 2.0), (5, 3.0)]);
+        let m = v.masked(|i| i < 3);
+        assert_eq!(m.dim(), 6);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(5), 0.0);
+    }
+
+    #[test]
+    fn concat_offsets_second_block() {
+        let a = sv(3, &[(1, 1.0)]);
+        let b = sv(2, &[(0, 2.0)]);
+        let c = a.concat(&b);
+        assert_eq!(c.dim(), 5);
+        assert_eq!(c.get(1), 1.0);
+        assert_eq!(c.get(3), 2.0);
+    }
+
+    #[test]
+    fn norm2_over_entries() {
+        assert_eq!(sv(9, &[(0, 3.0), (8, 4.0)]).norm2(), 5.0);
+    }
+
+    proptest! {
+        #[test]
+        fn dense_sparse_dot_agree(
+            a in proptest::collection::vec(-10f64..10.0, 1..24),
+        ) {
+            // derive b deterministically so dimensions agree
+            let b: Vec<f64> = a.iter().map(|x| if x.abs() > 5.0 { 0.0 } else { x * 2.0 }).collect();
+            let sa = SparseVec::from_dense(&a);
+            let sb = SparseVec::from_dense(&b);
+            let dense_dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            prop_assert!((sa.dot(&sb) - dense_dot).abs() < 1e-9);
+            prop_assert!((sa.dot_dense(&b) - dense_dot).abs() < 1e-9);
+        }
+
+        #[test]
+        fn to_dense_round_trip(a in proptest::collection::vec(-10f64..10.0, 0..24)) {
+            let v = SparseVec::from_dense(&a);
+            prop_assert_eq!(v.to_dense(), a);
+        }
+
+        #[test]
+        fn set_then_get(dim in 1usize..32, idx in 0u32..32, val in -5f64..5.0) {
+            let idx = idx % dim as u32;
+            let mut v = SparseVec::zeros(dim);
+            v.set(idx, val).unwrap();
+            prop_assert_eq!(v.get(idx), val);
+            // indices stay sorted
+            let sorted = v.indices().windows(2).all(|w| w[0] < w[1]);
+            prop_assert!(sorted);
+        }
+    }
+}

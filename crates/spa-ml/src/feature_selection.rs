@@ -1,0 +1,200 @@
+//! SVM-weight feature selection.
+//!
+//! §5.2: "To reduce the dimensionality of the matrix generated we use
+//! Support Vector Machines." The standard reading — and the only one
+//! that is algorithmically concrete — is *embedded feature selection*:
+//! train a linear SVM, rank features by `|w_i|`, and keep the top-k.
+//! Attributes whose weights the SVM drives toward zero carry no signal
+//! for the behaviour being predicted and are dropped, shrinking the
+//! sparse user×attribute matrix the downstream learners consume.
+
+use crate::svm::LinearSvm;
+use spa_linalg::{CsrMatrix, SparseVec};
+use spa_types::{Result, SpaError};
+
+/// A fitted feature mask: the indices retained after selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureMask {
+    dim: usize,
+    keep: Vec<u32>,
+}
+
+impl FeatureMask {
+    /// Builds a mask keeping the `k` features with the largest absolute
+    /// SVM weight. `k` is clamped to the weight dimension.
+    pub fn top_k_by_weight(svm: &LinearSvm, k: usize) -> Result<Self> {
+        if !svm.is_trained() {
+            return Err(SpaError::NotTrained);
+        }
+        let w = svm.weights();
+        Self::top_k_from_scores(&w.iter().map(|x| x.abs()).collect::<Vec<_>>(), k)
+    }
+
+    /// Builds a mask from arbitrary per-feature scores (higher = keep).
+    pub fn top_k_from_scores(scores: &[f64], k: usize) -> Result<Self> {
+        if scores.is_empty() {
+            return Err(SpaError::Invalid("cannot select from zero features".into()));
+        }
+        let k = k.clamp(1, scores.len());
+        let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut keep: Vec<u32> = order[..k].to_vec();
+        keep.sort_unstable();
+        Ok(Self { dim: scores.len(), keep })
+    }
+
+    /// Builds a mask keeping an explicit index set.
+    pub fn from_indices(dim: usize, mut keep: Vec<u32>) -> Result<Self> {
+        keep.sort_unstable();
+        keep.dedup();
+        if keep.iter().any(|&i| i as usize >= dim) {
+            return Err(SpaError::Invalid("mask index out of range".into()));
+        }
+        Ok(Self { dim, keep })
+    }
+
+    /// Original dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Retained indices (sorted).
+    pub fn kept(&self) -> &[u32] {
+        &self.keep
+    }
+
+    /// Number of retained features.
+    pub fn len(&self) -> usize {
+        self.keep.len()
+    }
+
+    /// True when nothing was retained (cannot happen via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.keep.is_empty()
+    }
+
+    /// True when `i` survives the mask.
+    pub fn contains(&self, i: u32) -> bool {
+        self.keep.binary_search(&i).is_ok()
+    }
+
+    /// Projects a sparse row into the reduced space (dimension becomes
+    /// `len()`, retained coordinates are renumbered densely).
+    pub fn project(&self, x: &SparseVec) -> Result<SparseVec> {
+        if x.dim() != self.dim {
+            return Err(SpaError::DimensionMismatch { got: x.dim(), expected: self.dim });
+        }
+        let pairs = x.iter().filter_map(|(i, v)| {
+            self.keep.binary_search(&i).ok().map(|new_i| (new_i as u32, v))
+        });
+        SparseVec::from_pairs(self.keep.len(), pairs)
+    }
+
+    /// Projects a whole matrix.
+    pub fn project_matrix(&self, x: &CsrMatrix) -> Result<CsrMatrix> {
+        let mut out = CsrMatrix::new(self.keep.len());
+        for r in 0..x.rows() {
+            out.push_row(&self.project(&x.row_vec(r))?)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::svm::SvmConfig;
+    use crate::Classifier;
+    use rand::prelude::*;
+
+    #[test]
+    fn top_k_from_scores_keeps_largest() {
+        let mask = FeatureMask::top_k_from_scores(&[0.1, 5.0, 0.2, 3.0], 2).unwrap();
+        assert_eq!(mask.kept(), &[1, 3]);
+        assert!(mask.contains(1));
+        assert!(!mask.contains(0));
+        assert_eq!(mask.len(), 2);
+        assert_eq!(mask.dim(), 4);
+    }
+
+    #[test]
+    fn k_is_clamped() {
+        let mask = FeatureMask::top_k_from_scores(&[1.0, 2.0], 10).unwrap();
+        assert_eq!(mask.len(), 2);
+        let mask = FeatureMask::top_k_from_scores(&[1.0, 2.0], 0).unwrap();
+        assert_eq!(mask.len(), 1, "k clamps up to 1");
+        assert!(FeatureMask::top_k_from_scores(&[], 1).is_err());
+    }
+
+    #[test]
+    fn ties_break_by_index_for_determinism() {
+        let mask = FeatureMask::top_k_from_scores(&[1.0, 1.0, 1.0], 2).unwrap();
+        assert_eq!(mask.kept(), &[0, 1]);
+    }
+
+    #[test]
+    fn from_indices_validates_and_dedups() {
+        let mask = FeatureMask::from_indices(5, vec![3, 1, 3]).unwrap();
+        assert_eq!(mask.kept(), &[1, 3]);
+        assert!(FeatureMask::from_indices(3, vec![3]).is_err());
+    }
+
+    #[test]
+    fn project_renumbers_densely() {
+        let mask = FeatureMask::from_indices(6, vec![1, 4]).unwrap();
+        let x = SparseVec::from_pairs(6, [(0, 9.0), (1, 2.0), (4, 3.0)]).unwrap();
+        let p = mask.project(&x).unwrap();
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p.get(0), 2.0);
+        assert_eq!(p.get(1), 3.0);
+        assert!(mask.project(&SparseVec::zeros(5)).is_err());
+    }
+
+    #[test]
+    fn project_matrix_shrinks_columns() {
+        let mask = FeatureMask::from_indices(4, vec![0, 2]).unwrap();
+        let rows = [
+            SparseVec::from_pairs(4, [(0, 1.0), (3, 9.0)]).unwrap(),
+            SparseVec::from_pairs(4, [(2, 5.0)]).unwrap(),
+        ];
+        let m = CsrMatrix::from_rows(4, rows.iter()).unwrap();
+        let p = mask.project_matrix(&m).unwrap();
+        assert_eq!(p.cols(), 2);
+        assert_eq!(p.row_vec(0).get(0), 1.0);
+        assert_eq!(p.row_vec(1).get(1), 5.0);
+        assert_eq!(p.nnz(), 2, "masked-out entries are gone");
+    }
+
+    #[test]
+    fn untrained_svm_is_rejected() {
+        let svm = LinearSvm::with_dim(4);
+        assert!(matches!(FeatureMask::top_k_by_weight(&svm, 2), Err(SpaError::NotTrained)));
+    }
+
+    #[test]
+    fn svm_selection_finds_the_informative_features() {
+        // 10 features; only features 0 and 1 predict the label.
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut d = Dataset::new(10);
+        for i in 0..600 {
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let mut dense = vec![0.0; 10];
+            dense[0] = y * 2.0 + rng.gen_range(-0.3..0.3);
+            dense[1] = y * 1.5 + rng.gen_range(-0.3..0.3);
+            for noise in dense.iter_mut().skip(2) {
+                *noise = rng.gen_range(-1.0..1.0);
+            }
+            d.push(&SparseVec::from_dense(&dense), y).unwrap();
+        }
+        let mut svm = LinearSvm::new(10, SvmConfig { epochs: 10, ..Default::default() });
+        svm.fit(&d).unwrap();
+        let mask = FeatureMask::top_k_by_weight(&svm, 2).unwrap();
+        assert_eq!(mask.kept(), &[0, 1], "selection must recover the signal features");
+    }
+}

@@ -1,0 +1,181 @@
+//! Bernoulli naive Bayes over binarized sparse features.
+//!
+//! Second baseline for the ablation (E7). Features are binarized at
+//! `|value| > 0` (presence of an attribute signal), which matches how
+//! 2007-era CRM scoring treated sparse behavioural flags.
+
+use crate::dataset::Dataset;
+use crate::Classifier;
+use spa_linalg::SparseVec;
+use spa_types::{Result, SpaError};
+
+/// Bernoulli naive Bayes with Laplace smoothing.
+#[derive(Debug, Clone)]
+pub struct BernoulliNb {
+    /// Laplace smoothing pseudo-count.
+    pub alpha: f64,
+    dim: usize,
+    /// log P(y=+1), log P(y=-1)
+    log_prior: [f64; 2],
+    /// Per-feature log P(x=1|y) and log P(x=0|y), for y ∈ {+, −}.
+    log_p1: [Vec<f64>; 2],
+    log_p0: [Vec<f64>; 2],
+    trained: bool,
+}
+
+impl BernoulliNb {
+    /// Creates an untrained model for `dim` features.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            alpha: 1.0,
+            dim,
+            log_prior: [0.0; 2],
+            log_p1: [vec![], vec![]],
+            log_p0: [vec![], vec![]],
+            trained: false,
+        }
+    }
+
+    /// Sets the smoothing pseudo-count (builder style).
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+}
+
+impl Classifier for BernoulliNb {
+    fn fit(&mut self, data: &Dataset) -> Result<()> {
+        if data.is_empty() {
+            return Err(SpaError::Invalid("cannot fit on an empty dataset".into()));
+        }
+        if data.cols() != self.dim {
+            return Err(SpaError::DimensionMismatch { got: data.cols(), expected: self.dim });
+        }
+        if self.alpha <= 0.0 {
+            return Err(SpaError::Invalid("alpha must be positive".into()));
+        }
+        let mut class_counts = [0usize; 2];
+        let mut feature_counts = [vec![0usize; self.dim], vec![0usize; self.dim]];
+        for (r, idx, val) in data.x.iter_rows() {
+            let c = if data.y[r] > 0.0 { 0 } else { 1 };
+            class_counts[c] += 1;
+            for (&i, &v) in idx.iter().zip(val.iter()) {
+                if v != 0.0 {
+                    feature_counts[c][i as usize] += 1;
+                }
+            }
+        }
+        let n = data.len() as f64;
+        for c in 0..2 {
+            // Smoothed prior so a class absent from training data keeps a
+            // finite log-probability.
+            self.log_prior[c] = ((class_counts[c] as f64 + self.alpha)
+                / (n + 2.0 * self.alpha))
+                .ln();
+            let denom = class_counts[c] as f64 + 2.0 * self.alpha;
+            self.log_p1[c] = feature_counts[c]
+                .iter()
+                .map(|&k| ((k as f64 + self.alpha) / denom).ln())
+                .collect();
+            self.log_p0[c] = feature_counts[c]
+                .iter()
+                .map(|&k| ((class_counts[c] as f64 - k as f64 + self.alpha) / denom).ln())
+                .collect();
+        }
+        self.trained = true;
+        Ok(())
+    }
+
+    fn decision_function(&self, x: &SparseVec) -> Result<f64> {
+        if !self.trained {
+            return Err(SpaError::NotTrained);
+        }
+        if x.dim() != self.dim {
+            return Err(SpaError::DimensionMismatch { got: x.dim(), expected: self.dim });
+        }
+        // Start from the all-zeros log-likelihood, then correct the
+        // non-zero coordinates — O(nnz) instead of O(dim).
+        let mut score = [self.log_prior[0], self.log_prior[1]];
+        for (c, s) in score.iter_mut().enumerate() {
+            *s += self.log_p0[c].iter().sum::<f64>();
+        }
+        for (i, v) in x.iter() {
+            if v != 0.0 {
+                for (c, s) in score.iter_mut().enumerate() {
+                    *s += self.log_p1[c][i as usize] - self.log_p0[c][i as usize];
+                }
+            }
+        }
+        Ok(score[0] - score[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Positives carry feature 0, negatives feature 1.
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(3);
+        for _ in 0..20 {
+            d.push(&SparseVec::from_pairs(3, [(0, 1.0)]).unwrap(), 1.0).unwrap();
+            d.push(&SparseVec::from_pairs(3, [(1, 1.0)]).unwrap(), -1.0).unwrap();
+        }
+        // a little label noise
+        d.push(&SparseVec::from_pairs(3, [(0, 1.0)]).unwrap(), -1.0).unwrap();
+        d
+    }
+
+    #[test]
+    fn classifies_indicative_features() {
+        let mut nb = BernoulliNb::new(3);
+        nb.fit(&toy()).unwrap();
+        let pos = SparseVec::from_pairs(3, [(0, 1.0)]).unwrap();
+        let neg = SparseVec::from_pairs(3, [(1, 1.0)]).unwrap();
+        assert_eq!(nb.predict(&pos).unwrap(), 1.0);
+        assert_eq!(nb.predict(&neg).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn scores_are_monotone_in_evidence() {
+        let mut nb = BernoulliNb::new(3);
+        nb.fit(&toy()).unwrap();
+        let strong = SparseVec::from_pairs(3, [(0, 1.0)]).unwrap();
+        let none = SparseVec::zeros(3);
+        let against = SparseVec::from_pairs(3, [(1, 1.0)]).unwrap();
+        let s1 = nb.decision_function(&strong).unwrap();
+        let s2 = nb.decision_function(&none).unwrap();
+        let s3 = nb.decision_function(&against).unwrap();
+        assert!(s1 > s2 && s2 > s3);
+    }
+
+    #[test]
+    fn smoothing_keeps_unseen_features_finite() {
+        let mut nb = BernoulliNb::new(3);
+        nb.fit(&toy()).unwrap();
+        let unseen = SparseVec::from_pairs(3, [(2, 1.0)]).unwrap();
+        assert!(nb.decision_function(&unseen).unwrap().is_finite());
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut nb = BernoulliNb::new(3);
+        assert!(nb.fit(&Dataset::new(2)).is_err());
+        assert!(nb.fit(&Dataset::new(3)).is_err(), "empty dataset");
+        assert!(nb.decision_function(&SparseVec::zeros(3)).is_err(), "not trained");
+        let mut bad = BernoulliNb::new(3).with_alpha(0.0);
+        assert!(bad.fit(&toy()).is_err(), "alpha must be positive");
+    }
+
+    #[test]
+    fn single_class_training_does_not_panic() {
+        let mut d = Dataset::new(2);
+        for _ in 0..5 {
+            d.push(&SparseVec::from_pairs(2, [(0, 1.0)]).unwrap(), 1.0).unwrap();
+        }
+        let mut nb = BernoulliNb::new(2);
+        nb.fit(&d).unwrap();
+        let s = nb.decision_function(&SparseVec::from_pairs(2, [(0, 1.0)]).unwrap()).unwrap();
+        assert!(s.is_finite() && s > 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Feature scaling that preserves sparsity.
+//!
+//! Centering a sparse matrix would densify it, so the scalers here only
+//! *scale*: [`MaxAbsScaler`] divides each column by its maximum absolute
+//! value (the standard sparse-safe choice) and [`StdScaler`] divides by
+//! the column standard deviation computed around zero.
+
+use spa_linalg::{CsrMatrix, SparseVec};
+use spa_types::{Result, SpaError};
+
+/// Scales each column into `[-1, 1]` by its max absolute value.
+#[derive(Debug, Clone, Default)]
+pub struct MaxAbsScaler {
+    scale: Vec<f64>,
+}
+
+impl MaxAbsScaler {
+    /// Learns per-column max-abs from a dataset.
+    pub fn fit(x: &CsrMatrix) -> Self {
+        let mut max_abs = vec![0.0f64; x.cols()];
+        for (_, idx, val) in x.iter_rows() {
+            for (&i, &v) in idx.iter().zip(val.iter()) {
+                let a = v.abs();
+                if a > max_abs[i as usize] {
+                    max_abs[i as usize] = a;
+                }
+            }
+        }
+        let scale = max_abs.into_iter().map(|m| if m == 0.0 { 1.0 } else { m }).collect();
+        Self { scale }
+    }
+
+    /// Per-column divisors.
+    pub fn scale(&self) -> &[f64] {
+        &self.scale
+    }
+
+    /// Applies to one sparse row.
+    pub fn transform(&self, x: &SparseVec) -> Result<SparseVec> {
+        if x.dim() != self.scale.len() {
+            return Err(SpaError::DimensionMismatch { got: x.dim(), expected: self.scale.len() });
+        }
+        SparseVec::from_pairs(
+            x.dim(),
+            x.iter().map(|(i, v)| (i, v / self.scale[i as usize])),
+        )
+    }
+
+    /// Applies to every row of a matrix.
+    pub fn transform_matrix(&self, x: &CsrMatrix) -> Result<CsrMatrix> {
+        let mut out = CsrMatrix::new(x.cols());
+        for r in 0..x.rows() {
+            out.push_row(&self.transform(&x.row_vec(r))?)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Scales each column by its root-mean-square (std around zero).
+#[derive(Debug, Clone, Default)]
+pub struct StdScaler {
+    scale: Vec<f64>,
+}
+
+impl StdScaler {
+    /// Learns per-column RMS from a dataset.
+    pub fn fit(x: &CsrMatrix) -> Self {
+        let n = x.rows().max(1) as f64;
+        let mut sq = vec![0.0f64; x.cols()];
+        for (_, idx, val) in x.iter_rows() {
+            for (&i, &v) in idx.iter().zip(val.iter()) {
+                sq[i as usize] += v * v;
+            }
+        }
+        let scale = sq
+            .into_iter()
+            .map(|s| {
+                let rms = (s / n).sqrt();
+                if rms == 0.0 {
+                    1.0
+                } else {
+                    rms
+                }
+            })
+            .collect();
+        Self { scale }
+    }
+
+    /// Per-column divisors.
+    pub fn scale(&self) -> &[f64] {
+        &self.scale
+    }
+
+    /// Applies to one sparse row.
+    pub fn transform(&self, x: &SparseVec) -> Result<SparseVec> {
+        if x.dim() != self.scale.len() {
+            return Err(SpaError::DimensionMismatch { got: x.dim(), expected: self.scale.len() });
+        }
+        SparseVec::from_pairs(
+            x.dim(),
+            x.iter().map(|(i, v)| (i, v / self.scale[i as usize])),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> CsrMatrix {
+        let rows = [
+            SparseVec::from_pairs(3, [(0, 2.0), (1, -4.0)]).unwrap(),
+            SparseVec::from_pairs(3, [(0, -1.0), (1, 2.0)]).unwrap(),
+        ];
+        CsrMatrix::from_rows(3, rows.iter()).unwrap()
+    }
+
+    #[test]
+    fn maxabs_bounds_transformed_values() {
+        let m = matrix();
+        let scaler = MaxAbsScaler::fit(&m);
+        assert_eq!(scaler.scale(), &[2.0, 4.0, 1.0]);
+        let t = scaler.transform(&m.row_vec(0)).unwrap();
+        assert_eq!(t.get(0), 1.0);
+        assert_eq!(t.get(1), -1.0);
+        let all = scaler.transform_matrix(&m).unwrap();
+        for (_, _, vals) in all.iter_rows() {
+            assert!(vals.iter().all(|v| v.abs() <= 1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn empty_columns_scale_by_one() {
+        let scaler = MaxAbsScaler::fit(&matrix());
+        let v = SparseVec::from_pairs(3, [(2, 7.0)]).unwrap();
+        assert_eq!(scaler.transform(&v).unwrap().get(2), 7.0);
+    }
+
+    #[test]
+    fn maxabs_checks_dimension() {
+        let scaler = MaxAbsScaler::fit(&matrix());
+        assert!(scaler.transform(&SparseVec::zeros(4)).is_err());
+    }
+
+    #[test]
+    fn std_scaler_normalizes_rms_to_one() {
+        let m = matrix();
+        let scaler = StdScaler::fit(&m);
+        // col 0: values 2, -1 over 2 rows → rms = sqrt(5/2)
+        assert!((scaler.scale()[0] - (2.5f64).sqrt()).abs() < 1e-12);
+        let mut sq = 0.0;
+        for r in 0..m.rows() {
+            let t = scaler.transform(&m.row_vec(r)).unwrap();
+            sq += t.get(0) * t.get(0);
+        }
+        assert!(((sq / 2.0).sqrt() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_scaler_checks_dimension() {
+        let scaler = StdScaler::fit(&matrix());
+        assert!(scaler.transform(&SparseVec::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn transform_preserves_sparsity_pattern() {
+        let m = matrix();
+        for scaler_t in [
+            MaxAbsScaler::fit(&m).transform(&m.row_vec(0)).unwrap(),
+            StdScaler::fit(&m).transform(&m.row_vec(0)).unwrap(),
+        ] {
+            assert_eq!(scaler_t.indices(), m.row_vec(0).indices());
+        }
+    }
+}

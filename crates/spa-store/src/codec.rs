@@ -1,0 +1,344 @@
+//! Binary framing for LifeLog records.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! +----------+----------+---------------------+
+//! | len: u32 | crc: u32 | payload (len bytes) |
+//! +----------+----------+---------------------+
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE) over the payload. The payload itself is a
+//! tagged encoding of [`LifeLogEvent`]: a one-byte event tag followed by
+//! fixed-width fields. A hand-rolled codec keeps the store dependency-
+//! free and the format stable and inspectable.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use spa_types::{
+    ActionId, CampaignId, CourseId, EventKind, LifeLogEvent, QuestionId, Result, SpaError,
+    Timestamp, UserId, Valence,
+};
+
+/// CRC-32 (IEEE 802.3) over a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    // Small table generated at first use; the polynomial is reflected
+    // 0xEDB88320 as in zlib.
+    fn table() -> &'static [u32; 256] {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut t = [0u32; 256];
+            for (i, entry) in t.iter_mut().enumerate() {
+                let mut c = i as u32;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                }
+                *entry = c;
+            }
+            t
+        })
+    }
+    let t = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = t[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+// Event tags. New variants must append, never renumber.
+const TAG_ACTION: u8 = 1;
+const TAG_TRANSACTION: u8 = 2;
+const TAG_RATING: u8 = 3;
+const TAG_EIT_ANSWER: u8 = 4;
+const TAG_EIT_SKIPPED: u8 = 5;
+const TAG_DELIVERED: u8 = 6;
+const TAG_OPENED: u8 = 7;
+
+/// Sentinel encoding "no value" for optional u32 ids.
+const NONE_SENTINEL: u32 = u32::MAX;
+
+/// Serializes one event into a payload (without framing).
+pub fn encode_event(event: &LifeLogEvent, out: &mut BytesMut) {
+    out.put_u32_le(event.user.raw());
+    out.put_u64_le(event.at.millis());
+    match &event.kind {
+        EventKind::Action { action, course } => {
+            out.put_u8(TAG_ACTION);
+            out.put_u32_le(action.raw());
+            out.put_u32_le(course.map_or(NONE_SENTINEL, |c| c.raw()));
+        }
+        EventKind::Transaction { course, campaign } => {
+            out.put_u8(TAG_TRANSACTION);
+            out.put_u32_le(course.raw());
+            out.put_u32_le(campaign.map_or(NONE_SENTINEL, |c| c.raw()));
+        }
+        EventKind::Rating { course, stars } => {
+            out.put_u8(TAG_RATING);
+            out.put_u32_le(course.raw());
+            out.put_u8(*stars);
+        }
+        EventKind::EitAnswer { question, answer } => {
+            out.put_u8(TAG_EIT_ANSWER);
+            out.put_u32_le(question.raw());
+            out.put_f64_le(answer.value());
+        }
+        EventKind::EitSkipped { question } => {
+            out.put_u8(TAG_EIT_SKIPPED);
+            out.put_u32_le(question.raw());
+        }
+        EventKind::MessageDelivered { campaign } => {
+            out.put_u8(TAG_DELIVERED);
+            out.put_u32_le(campaign.raw());
+        }
+        EventKind::MessageOpened { campaign } => {
+            out.put_u8(TAG_OPENED);
+            out.put_u32_le(campaign.raw());
+        }
+    }
+}
+
+fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {
+    if buf.remaining() < n {
+        return Err(SpaError::Corrupt(format!("payload truncated reading {what}")));
+    }
+    Ok(())
+}
+
+/// Deserializes one event from a payload produced by [`encode_event`].
+pub fn decode_event(mut buf: Bytes) -> Result<LifeLogEvent> {
+    need(&buf, 4 + 8 + 1, "header")?;
+    let user = UserId::new(buf.get_u32_le());
+    let at = Timestamp::from_millis(buf.get_u64_le());
+    let tag = buf.get_u8();
+    let opt = |raw: u32| if raw == NONE_SENTINEL { None } else { Some(raw) };
+    let kind = match tag {
+        TAG_ACTION => {
+            need(&buf, 8, "action fields")?;
+            EventKind::Action {
+                action: ActionId::new(buf.get_u32_le()),
+                course: opt(buf.get_u32_le()).map(CourseId::new),
+            }
+        }
+        TAG_TRANSACTION => {
+            need(&buf, 8, "transaction fields")?;
+            EventKind::Transaction {
+                course: CourseId::new(buf.get_u32_le()),
+                campaign: opt(buf.get_u32_le()).map(CampaignId::new),
+            }
+        }
+        TAG_RATING => {
+            need(&buf, 5, "rating fields")?;
+            EventKind::Rating { course: CourseId::new(buf.get_u32_le()), stars: buf.get_u8() }
+        }
+        TAG_EIT_ANSWER => {
+            need(&buf, 12, "eit answer fields")?;
+            EventKind::EitAnswer {
+                question: QuestionId::new(buf.get_u32_le()),
+                answer: Valence::new(buf.get_f64_le()),
+            }
+        }
+        TAG_EIT_SKIPPED => {
+            need(&buf, 4, "eit skipped fields")?;
+            EventKind::EitSkipped { question: QuestionId::new(buf.get_u32_le()) }
+        }
+        TAG_DELIVERED => {
+            need(&buf, 4, "delivered fields")?;
+            EventKind::MessageDelivered { campaign: CampaignId::new(buf.get_u32_le()) }
+        }
+        TAG_OPENED => {
+            need(&buf, 4, "opened fields")?;
+            EventKind::MessageOpened { campaign: CampaignId::new(buf.get_u32_le()) }
+        }
+        other => return Err(SpaError::Corrupt(format!("unknown event tag {other}"))),
+    };
+    if buf.has_remaining() {
+        return Err(SpaError::Corrupt(format!("{} trailing bytes after event", buf.remaining())));
+    }
+    Ok(LifeLogEvent::new(user, at, kind))
+}
+
+/// Writes a full frame (length, crc, payload) for one event.
+pub fn encode_frame(event: &LifeLogEvent, out: &mut BytesMut) {
+    let mut payload = BytesMut::with_capacity(32);
+    encode_event(event, &mut payload);
+    out.put_u32_le(payload.len() as u32);
+    out.put_u32_le(crc32(&payload));
+    out.extend_from_slice(&payload);
+}
+
+/// Outcome of attempting to read one frame from a buffer.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete, checksum-valid event, plus bytes consumed.
+    Event(LifeLogEvent, usize),
+    /// The buffer ends mid-frame (normal at the tail of a segment that
+    /// was being written during a crash).
+    Incomplete,
+}
+
+/// Maximum payload size accepted by the decoder; anything larger is
+/// treated as corruption (our largest event is < 64 bytes).
+pub const MAX_PAYLOAD: u32 = 4096;
+
+/// Tries to decode one frame from the front of `buf`.
+pub fn decode_frame(buf: &[u8]) -> Result<FrameRead> {
+    if buf.len() < 8 {
+        return Ok(FrameRead::Incomplete);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len > MAX_PAYLOAD {
+        return Err(SpaError::Corrupt(format!("frame length {len} exceeds cap {MAX_PAYLOAD}")));
+    }
+    let crc_expect = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let total = 8 + len as usize;
+    if buf.len() < total {
+        return Ok(FrameRead::Incomplete);
+    }
+    let payload = &buf[8..total];
+    let crc_actual = crc32(payload);
+    if crc_actual != crc_expect {
+        return Err(SpaError::Corrupt(format!(
+            "checksum mismatch: stored {crc_expect:#010x}, computed {crc_actual:#010x}"
+        )));
+    }
+    let event = decode_event(Bytes::copy_from_slice(payload))?;
+    Ok(FrameRead::Event(event, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<LifeLogEvent> {
+        vec![
+            LifeLogEvent::new(
+                UserId::new(1),
+                Timestamp::from_millis(100),
+                EventKind::Action { action: ActionId::new(7), course: Some(CourseId::new(3)) },
+            ),
+            LifeLogEvent::new(
+                UserId::new(2),
+                Timestamp::from_millis(200),
+                EventKind::Action { action: ActionId::new(8), course: None },
+            ),
+            LifeLogEvent::new(
+                UserId::new(3),
+                Timestamp::from_millis(300),
+                EventKind::Transaction { course: CourseId::new(4), campaign: Some(CampaignId::new(1)) },
+            ),
+            LifeLogEvent::new(
+                UserId::new(4),
+                Timestamp::from_millis(400),
+                EventKind::Rating { course: CourseId::new(5), stars: 4 },
+            ),
+            LifeLogEvent::new(
+                UserId::new(5),
+                Timestamp::from_millis(500),
+                EventKind::EitAnswer { question: QuestionId::new(9), answer: Valence::new(-0.5) },
+            ),
+            LifeLogEvent::new(
+                UserId::new(6),
+                Timestamp::from_millis(600),
+                EventKind::EitSkipped { question: QuestionId::new(10) },
+            ),
+            LifeLogEvent::new(
+                UserId::new(7),
+                Timestamp::from_millis(700),
+                EventKind::MessageDelivered { campaign: CampaignId::new(2) },
+            ),
+            LifeLogEvent::new(
+                UserId::new(8),
+                Timestamp::from_millis(800),
+                EventKind::MessageOpened { campaign: CampaignId::new(2) },
+            ),
+        ]
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926, "standard check value");
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        for event in sample_events() {
+            let mut payload = BytesMut::new();
+            encode_event(&event, &mut payload);
+            let decoded = decode_event(payload.freeze()).unwrap();
+            assert_eq!(decoded, event);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for event in sample_events() {
+            let mut buf = BytesMut::new();
+            encode_frame(&event, &mut buf);
+            match decode_frame(&buf).unwrap() {
+                FrameRead::Event(decoded, consumed) => {
+                    assert_eq!(decoded, event);
+                    assert_eq!(consumed, buf.len());
+                }
+                FrameRead::Incomplete => panic!("complete frame reported incomplete"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_incomplete_not_errors() {
+        let mut buf = BytesMut::new();
+        encode_frame(&sample_events()[0], &mut buf);
+        for cut in 0..buf.len() {
+            match decode_frame(&buf[..cut]) {
+                Ok(FrameRead::Incomplete) => {}
+                other => panic!("cut at {cut}: expected Incomplete, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_bit_is_detected() {
+        let mut buf = BytesMut::new();
+        encode_frame(&sample_events()[2], &mut buf);
+        let mut bytes = buf.to_vec();
+        // flip one payload bit
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(decode_frame(&bytes), Err(SpaError::Corrupt(_))));
+    }
+
+    #[test]
+    fn absurd_length_is_corruption() {
+        let mut bytes = vec![0u8; 16];
+        bytes[..4].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(decode_frame(&bytes), Err(SpaError::Corrupt(_))));
+    }
+
+    #[test]
+    fn unknown_tag_is_corruption() {
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(1);
+        payload.put_u64_le(2);
+        payload.put_u8(99);
+        assert!(matches!(decode_event(payload.freeze()), Err(SpaError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_corruption() {
+        let mut payload = BytesMut::new();
+        encode_event(&sample_events()[5], &mut payload);
+        payload.put_u8(0);
+        assert!(matches!(decode_event(payload.freeze()), Err(SpaError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_payload_is_corruption() {
+        let mut payload = BytesMut::new();
+        encode_event(&sample_events()[0], &mut payload);
+        let short = payload.freeze().slice(0..14);
+        assert!(matches!(decode_event(short), Err(SpaError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,200 @@
+//! Minimal CSV import/export.
+//!
+//! Reports and dataset interchange use plain CSV with RFC-4180 quoting
+//! for the small set of cases we produce (fields containing commas,
+//! quotes or newlines). This is intentionally a small, dependency-free
+//! writer/parser, not a general CSV library.
+
+use spa_types::{Result, SpaError};
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+/// Quotes a field if needed per RFC 4180.
+pub fn quote_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Serializes rows of string fields into CSV text.
+pub fn to_csv<S: AsRef<str>>(rows: &[Vec<S>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let mut first = true;
+        for field in row {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(&quote_field(field.as_ref()));
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes rows to a file.
+pub fn write_csv<S: AsRef<str>>(path: impl AsRef<Path>, rows: &[Vec<S>]) -> Result<()> {
+    let mut file = BufWriter::new(File::create(path)?);
+    file.write_all(to_csv(rows).as_bytes())?;
+    file.flush()?;
+    Ok(())
+}
+
+/// Parses CSV text into rows of fields (handles quoted fields, embedded
+/// quotes, commas and newlines; accepts both `\n` and `\r\n`).
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut field_started = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if field.is_empty() && !field_started {
+                    in_quotes = true;
+                    field_started = true;
+                } else {
+                    return Err(SpaError::Invalid("quote inside unquoted field".into()));
+                }
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+                field_started = false;
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+                field_started = false;
+            }
+            '\n' => {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+                field_started = false;
+            }
+            other => {
+                field.push(other);
+                field_started = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(SpaError::Invalid("unterminated quoted field".into()));
+    }
+    if field_started || !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Reads and parses a CSV file.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Vec<Vec<String>>> {
+    let mut text = String::new();
+    File::open(path)?.read_to_string(&mut text)?;
+    parse_csv(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn plain_fields_round_trip() {
+        let rows = vec![vec!["a", "b", "c"], vec!["1", "2", "3"]];
+        let text = to_csv(&rows);
+        assert_eq!(text, "a,b,c\n1,2,3\n");
+        let parsed = parse_csv(&text).unwrap();
+        assert_eq!(parsed, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn special_characters_are_quoted() {
+        let rows = vec![vec!["he,llo", "say \"hi\"", "multi\nline"]];
+        let text = to_csv(&rows);
+        let parsed = parse_csv(&text).unwrap();
+        assert_eq!(parsed[0][0], "he,llo");
+        assert_eq!(parsed[0][1], "say \"hi\"");
+        assert_eq!(parsed[0][2], "multi\nline");
+    }
+
+    #[test]
+    fn crlf_line_endings_parse() {
+        let parsed = parse_csv("a,b\r\nc,d\r\n").unwrap();
+        assert_eq!(parsed, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn missing_trailing_newline_is_tolerated() {
+        let parsed = parse_csv("a,b\nc,d").unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1], vec!["c", "d"]);
+    }
+
+    #[test]
+    fn empty_fields_survive() {
+        let parsed = parse_csv("a,,c\n").unwrap();
+        assert_eq!(parsed, vec![vec!["a", "", "c"]]);
+        let quoted_empty = parse_csv("\"\",x\n").unwrap();
+        assert_eq!(quoted_empty, vec![vec!["", "x"]]);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(parse_csv("ab\"c\n").is_err(), "quote mid-field");
+        assert!(parse_csv("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(parse_csv("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let path =
+            std::env::temp_dir().join(format!("spa-csv-{}.csv", std::process::id()));
+        let rows = vec![vec!["x".to_string(), "y,z".to_string()]];
+        write_csv(&path, &rows).unwrap();
+        let parsed = read_csv(&path).unwrap();
+        assert_eq!(parsed, vec![vec!["x", "y,z"]]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_fields_round_trip(
+            rows in proptest::collection::vec(
+                proptest::collection::vec("[ -~]{0,12}", 1..5),
+                1..6,
+            )
+        ) {
+            let text = to_csv(&rows);
+            let parsed = parse_csv(&text).unwrap();
+            prop_assert_eq!(parsed, rows);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Sensibility index: attribute → users above a threshold.
+//!
+//! §5.3 step 3 assigns messages by "the attributes of his/her user model
+//! that exceed a sensibility threshold". The Messaging Agent therefore
+//! needs the inverse mapping — given a product attribute, which users
+//! are sensitive to it — without scanning every profile per campaign.
+//! [`SensibilityIndex`] maintains that inverted index.
+
+use crate::profile::ProfileStore;
+use spa_types::{AttributeId, Result, SpaError, UserId};
+use std::collections::BTreeMap;
+
+/// Inverted index from attribute to the users whose stored value for
+/// that attribute is ≥ the index threshold.
+#[derive(Debug, Clone)]
+pub struct SensibilityIndex {
+    threshold: f64,
+    dim: usize,
+    /// attribute → sorted user ids
+    postings: BTreeMap<u32, Vec<UserId>>,
+}
+
+impl SensibilityIndex {
+    /// Builds the index by scanning a profile store.
+    pub fn build(store: &ProfileStore, threshold: f64) -> Result<Self> {
+        if !threshold.is_finite() {
+            return Err(SpaError::Invalid("threshold must be finite".into()));
+        }
+        let mut postings: BTreeMap<u32, Vec<UserId>> = BTreeMap::new();
+        store.for_each(|user, profile| {
+            for (attr, &value) in profile.values.iter().enumerate() {
+                if value >= threshold {
+                    postings.entry(attr as u32).or_default().push(user);
+                }
+            }
+        });
+        for list in postings.values_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Ok(Self { threshold, dim: store.dim(), postings })
+    }
+
+    /// The threshold used at build time.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Users sensitive to `attr` (sorted ascending; empty when none).
+    pub fn users_for(&self, attr: AttributeId) -> &[UserId] {
+        self.postings.get(&attr.raw()).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Number of users sensitive to `attr`.
+    pub fn count_for(&self, attr: AttributeId) -> usize {
+        self.users_for(attr).len()
+    }
+
+    /// True when `user` is sensitive to `attr`.
+    pub fn is_sensitive(&self, user: UserId, attr: AttributeId) -> bool {
+        self.users_for(attr).binary_search(&user).is_ok()
+    }
+
+    /// Attributes that have at least one sensitive user.
+    pub fn active_attributes(&self) -> impl Iterator<Item = AttributeId> + '_ {
+        self.postings.keys().map(|&a| AttributeId::new(a))
+    }
+
+    /// Users sensitive to *any* of the given attributes (set union).
+    pub fn users_for_any(&self, attrs: &[AttributeId]) -> Vec<UserId> {
+        let mut out: Vec<UserId> = attrs.iter().flat_map(|&a| self.users_for(a).iter().copied()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Attribute dimensionality of the indexed store.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spa_types::Timestamp;
+
+    fn store() -> ProfileStore {
+        let s = ProfileStore::new(3);
+        // user 0: high on attr 0; user 1: high on 0 and 2; user 2: none
+        s.update(UserId::new(0), Timestamp::from_millis(0), |v| v[0] = 0.9);
+        s.update(UserId::new(1), Timestamp::from_millis(0), |v| {
+            v[0] = 0.8;
+            v[2] = 0.7;
+        });
+        s.update(UserId::new(2), Timestamp::from_millis(0), |v| v[1] = 0.1);
+        s
+    }
+
+    #[test]
+    fn postings_respect_threshold() {
+        let idx = SensibilityIndex::build(&store(), 0.5).unwrap();
+        assert_eq!(idx.users_for(AttributeId::new(0)), &[UserId::new(0), UserId::new(1)]);
+        assert_eq!(idx.users_for(AttributeId::new(2)), &[UserId::new(1)]);
+        assert!(idx.users_for(AttributeId::new(1)).is_empty());
+        assert_eq!(idx.count_for(AttributeId::new(0)), 2);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let idx = SensibilityIndex::build(&store(), 0.5).unwrap();
+        assert!(idx.is_sensitive(UserId::new(1), AttributeId::new(2)));
+        assert!(!idx.is_sensitive(UserId::new(0), AttributeId::new(2)));
+        assert!(!idx.is_sensitive(UserId::new(99), AttributeId::new(0)));
+    }
+
+    #[test]
+    fn active_attributes_skip_empty_postings() {
+        let idx = SensibilityIndex::build(&store(), 0.5).unwrap();
+        let active: Vec<u32> = idx.active_attributes().map(|a| a.raw()).collect();
+        assert_eq!(active, vec![0, 2]);
+    }
+
+    #[test]
+    fn union_query_dedups() {
+        let idx = SensibilityIndex::build(&store(), 0.5).unwrap();
+        let users = idx.users_for_any(&[AttributeId::new(0), AttributeId::new(2)]);
+        assert_eq!(users, vec![UserId::new(0), UserId::new(1)]);
+    }
+
+    #[test]
+    fn lower_threshold_admits_more_users() {
+        let strict = SensibilityIndex::build(&store(), 0.85).unwrap();
+        let lax = SensibilityIndex::build(&store(), 0.05).unwrap();
+        assert_eq!(strict.count_for(AttributeId::new(0)), 1);
+        assert_eq!(lax.count_for(AttributeId::new(0)), 2);
+        assert_eq!(lax.count_for(AttributeId::new(1)), 1);
+        assert!(strict.threshold() > lax.threshold());
+    }
+
+    #[test]
+    fn rejects_non_finite_threshold() {
+        assert!(SensibilityIndex::build(&store(), f64::NAN).is_err());
+        assert!(SensibilityIndex::build(&store(), f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn empty_store_builds_empty_index() {
+        let idx = SensibilityIndex::build(&ProfileStore::new(5), 0.5).unwrap();
+        assert_eq!(idx.active_attributes().count(), 0);
+        assert_eq!(idx.dim(), 5);
+    }
+}

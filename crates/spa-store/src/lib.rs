@@ -1,0 +1,31 @@
+//! # spa-store — LifeLog storage substrate
+//!
+//! The paper's SPA platform "exploits heterogeneous, multi-dimensional
+//! and massive databases to extract, pre-process and deliver distilled
+//! user LifeLogs" (§4), with WebLogs arriving at ≈50 GB/month (§5.1).
+//! This crate provides the embedded storage layer that plays that role
+//! in the reproduction:
+//!
+//! * [`log`] — a durable, append-only, segmented **event log** holding
+//!   raw [`spa_types::LifeLogEvent`] records behind a CRC-checked binary
+//!   framing ([`codec`]); replayable from the start, tolerant of a
+//!   truncated tail (crash during append);
+//! * [`profile`] — a sharded, concurrently readable **profile store**
+//!   mapping users to their attribute-value vectors, with snapshot
+//!   save/load;
+//! * [`index`] — a secondary **sensibility index** (attribute → users
+//!   above a threshold) used by the Attributes Manager;
+//! * [`csv`] — plain-text import/export for datasets and reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod csv;
+pub mod index;
+pub mod log;
+pub mod profile;
+
+pub use index::SensibilityIndex;
+pub use log::{EventLog, LogStats};
+pub use profile::{ProfileStore, UserProfile};

@@ -1,0 +1,406 @@
+//! Append-only, segmented event log.
+//!
+//! LifeLog events arrive as a continuous stream ("the continuous storage
+//! of raw information streams", §4). The log stores them in numbered
+//! segment files (`segment-0000000000.log`, …), rolling to a new segment
+//! once the active one exceeds a size threshold. Each record is framed
+//! with a length and CRC ([`crate::codec`]), so replay detects both bit
+//! rot (error) and a torn tail write (silently truncated, like a WAL
+//! recovery).
+
+use crate::codec::{decode_frame, encode_frame, FrameRead};
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use spa_types::{LifeLogEvent, Result, SpaError};
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Configuration for an [`EventLog`].
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Roll to a new segment after the active one reaches this many
+    /// bytes (default 8 MiB).
+    pub segment_bytes: u64,
+    /// Call `sync_all` on segment roll and explicit flushes.
+    pub fsync: bool,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        Self { segment_bytes: 8 * 1024 * 1024, fsync: false }
+    }
+}
+
+/// Aggregate statistics of a log directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogStats {
+    /// Number of segment files.
+    pub segments: usize,
+    /// Total bytes across segments.
+    pub bytes: u64,
+    /// Events successfully appended (writer-side counter).
+    pub events_appended: u64,
+}
+
+struct Writer {
+    file: BufWriter<File>,
+    segment_index: u64,
+    segment_bytes: u64,
+    events_appended: u64,
+    scratch: BytesMut,
+}
+
+/// A durable, append-only LifeLog event store over a directory of
+/// segment files. Appends are serialized behind a mutex; replay opens
+/// the segments independently of the writer.
+pub struct EventLog {
+    dir: PathBuf,
+    config: LogConfig,
+    writer: Mutex<Writer>,
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("segment-{index:010}.log"))
+}
+
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        if let Some(idx) = name.strip_prefix("segment-").and_then(|r| r.strip_suffix(".log")) {
+            if let Ok(index) = idx.parse::<u64>() {
+                segments.push((index, path));
+            }
+        }
+    }
+    segments.sort_by_key(|&(i, _)| i);
+    Ok(segments)
+}
+
+impl EventLog {
+    /// Opens (creating if needed) a log in `dir`. Appends continue into
+    /// the highest existing segment.
+    pub fn open(dir: impl Into<PathBuf>, config: LogConfig) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let segments = list_segments(&dir)?;
+        let (segment_index, existing_bytes) = match segments.last() {
+            Some((idx, path)) => (*idx, fs::metadata(path)?.len()),
+            None => (0, 0),
+        };
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&dir, segment_index))?;
+        Ok(Self {
+            dir,
+            config,
+            writer: Mutex::new(Writer {
+                file: BufWriter::new(file),
+                segment_index,
+                segment_bytes: existing_bytes,
+                events_appended: 0,
+                scratch: BytesMut::with_capacity(64),
+            }),
+        })
+    }
+
+    /// Opens with default configuration.
+    pub fn open_default(dir: impl Into<PathBuf>) -> Result<Self> {
+        Self::open(dir, LogConfig::default())
+    }
+
+    /// Appends one event, rolling the segment when full.
+    pub fn append(&self, event: &LifeLogEvent) -> Result<()> {
+        let mut w = self.writer.lock();
+        w.scratch.clear();
+        encode_frame(event, &mut w.scratch);
+        let frame_len = w.scratch.len() as u64;
+        if w.segment_bytes > 0 && w.segment_bytes + frame_len > self.config.segment_bytes {
+            self.roll_locked(&mut w)?;
+        }
+        let frame = w.scratch.split().freeze();
+        w.file.write_all(&frame)?;
+        w.segment_bytes += frame_len;
+        w.events_appended += 1;
+        Ok(())
+    }
+
+    /// Appends a batch of events (one lock acquisition).
+    pub fn append_batch<'a>(
+        &self,
+        events: impl IntoIterator<Item = &'a LifeLogEvent>,
+    ) -> Result<usize> {
+        let mut w = self.writer.lock();
+        let mut appended = 0usize;
+        for event in events {
+            w.scratch.clear();
+            encode_frame(event, &mut w.scratch);
+            let frame_len = w.scratch.len() as u64;
+            if w.segment_bytes > 0 && w.segment_bytes + frame_len > self.config.segment_bytes {
+                self.roll_locked(&mut w)?;
+            }
+            let frame = w.scratch.split().freeze();
+            w.file.write_all(&frame)?;
+            w.segment_bytes += frame_len;
+            w.events_appended += 1;
+            appended += 1;
+        }
+        Ok(appended)
+    }
+
+    fn roll_locked(&self, w: &mut Writer) -> Result<()> {
+        w.file.flush()?;
+        if self.config.fsync {
+            w.file.get_ref().sync_all()?;
+        }
+        w.segment_index += 1;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&self.dir, w.segment_index))?;
+        w.file = BufWriter::new(file);
+        w.segment_bytes = 0;
+        Ok(())
+    }
+
+    /// Flushes buffered appends to the OS (and disk when `fsync`).
+    pub fn flush(&self) -> Result<()> {
+        let mut w = self.writer.lock();
+        w.file.flush()?;
+        if self.config.fsync {
+            w.file.get_ref().sync_all()?;
+        }
+        Ok(())
+    }
+
+    /// Statistics over the on-disk segments (flush first for an exact
+    /// byte count).
+    pub fn stats(&self) -> Result<LogStats> {
+        let segments = list_segments(&self.dir)?;
+        let mut bytes = 0;
+        for (_, path) in &segments {
+            bytes += fs::metadata(path)?.len();
+        }
+        let events_appended = self.writer.lock().events_appended;
+        Ok(LogStats { segments: segments.len(), bytes, events_appended })
+    }
+
+    /// Replays every intact event in segment order, stopping silently at
+    /// a torn tail in the *last* segment (crash recovery semantics) but
+    /// failing loudly on mid-log corruption.
+    pub fn replay(&self) -> Result<Vec<LifeLogEvent>> {
+        self.flush()?;
+        Self::replay_dir(&self.dir)
+    }
+
+    /// Replays a log directory without an open writer.
+    pub fn replay_dir(dir: impl AsRef<Path>) -> Result<Vec<LifeLogEvent>> {
+        let segments = list_segments(dir.as_ref())?;
+        let mut events = Vec::new();
+        let last = segments.len().saturating_sub(1);
+        for (seg_pos, (_, path)) in segments.iter().enumerate() {
+            let mut buf = Vec::new();
+            File::open(path)?.read_to_end(&mut buf)?;
+            let mut offset = 0usize;
+            while offset < buf.len() {
+                match decode_frame(&buf[offset..]) {
+                    Ok(FrameRead::Event(event, consumed)) => {
+                        events.push(event);
+                        offset += consumed;
+                    }
+                    Ok(FrameRead::Incomplete) => {
+                        if seg_pos == last {
+                            // torn tail write — recoverable
+                            break;
+                        }
+                        return Err(SpaError::Corrupt(format!(
+                            "segment {} truncated mid-log at offset {offset}",
+                            path.display()
+                        )));
+                    }
+                    Err(e) => {
+                        return Err(SpaError::Corrupt(format!(
+                            "segment {} offset {offset}: {e}",
+                            path.display()
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spa_types::{ActionId, EventKind, Timestamp, UserId};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spa-log-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn event(i: u32) -> LifeLogEvent {
+        LifeLogEvent::new(
+            UserId::new(i),
+            Timestamp::from_millis(i as u64 * 10),
+            EventKind::Action { action: ActionId::new(i % 984), course: None },
+        )
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let log = EventLog::open_default(&dir).unwrap();
+        let events: Vec<_> = (0..100).map(event).collect();
+        for e in &events {
+            log.append(e).unwrap();
+        }
+        assert_eq!(log.replay().unwrap(), events);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_append_counts() {
+        let dir = tmp_dir("batch");
+        let log = EventLog::open_default(&dir).unwrap();
+        let events: Vec<_> = (0..50).map(event).collect();
+        assert_eq!(log.append_batch(events.iter()).unwrap(), 50);
+        assert_eq!(log.replay().unwrap().len(), 50);
+        assert_eq!(log.stats().unwrap().events_appended, 50);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_roll_at_threshold() {
+        let dir = tmp_dir("roll");
+        let config = LogConfig { segment_bytes: 256, fsync: false };
+        let log = EventLog::open(&dir, config).unwrap();
+        for i in 0..100 {
+            log.append(&event(i)).unwrap();
+        }
+        log.flush().unwrap();
+        let stats = log.stats().unwrap();
+        assert!(stats.segments > 1, "expected multiple segments, got {}", stats.segments);
+        assert_eq!(log.replay().unwrap().len(), 100, "roll must not lose events");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_continues_appending() {
+        let dir = tmp_dir("reopen");
+        {
+            let log = EventLog::open_default(&dir).unwrap();
+            for i in 0..10 {
+                log.append(&event(i)).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        {
+            let log = EventLog::open_default(&dir).unwrap();
+            for i in 10..20 {
+                log.append(&event(i)).unwrap();
+            }
+            log.flush().unwrap();
+            let replayed = log.replay().unwrap();
+            assert_eq!(replayed.len(), 20);
+            assert_eq!(replayed[19], event(19));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_recovered_silently() {
+        let dir = tmp_dir("torn");
+        {
+            let log = EventLog::open_default(&dir).unwrap();
+            for i in 0..10 {
+                log.append(&event(i)).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        // truncate the (single) segment mid-frame
+        let seg = list_segments(&dir).unwrap().pop().unwrap().1;
+        let len = fs::metadata(&seg).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&seg).unwrap();
+        file.set_len(len - 3).unwrap();
+        let events = EventLog::replay_dir(&dir).unwrap();
+        assert_eq!(events.len(), 9, "the torn final event is dropped");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_loud() {
+        let dir = tmp_dir("midcorrupt");
+        let config = LogConfig { segment_bytes: 128, fsync: false };
+        {
+            let log = EventLog::open(&dir, config).unwrap();
+            for i in 0..40 {
+                log.append(&event(i)).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        // truncate the FIRST segment so an earlier segment ends mid-frame
+        let first = list_segments(&dir).unwrap()[0].1.clone();
+        let len = fs::metadata(&first).unwrap().len();
+        OpenOptions::new().write(true).open(&first).unwrap().set_len(len - 2).unwrap();
+        assert!(matches!(EventLog::replay_dir(&dir), Err(SpaError::Corrupt(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_is_detected_on_replay() {
+        let dir = tmp_dir("bitflip");
+        {
+            let log = EventLog::open_default(&dir).unwrap();
+            for i in 0..5 {
+                log.append(&event(i)).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        let seg = list_segments(&dir).unwrap()[0].1.clone();
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes[12] ^= 0xFF; // somewhere inside the first payload
+        fs::write(&seg, &bytes).unwrap();
+        assert!(matches!(EventLog::replay_dir(&dir), Err(SpaError::Corrupt(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_log_replays_empty() {
+        let dir = tmp_dir("empty");
+        let log = EventLog::open_default(&dir).unwrap();
+        assert!(log.replay().unwrap().is_empty());
+        let stats = log.stats().unwrap();
+        assert_eq!(stats.events_appended, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_appends_are_all_stored() {
+        let dir = tmp_dir("concurrent");
+        let log = std::sync::Arc::new(EventLog::open_default(&dir).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let log = log.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u32 {
+                    log.append(&event(t * 1000 + i)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.replay().unwrap().len(), 1000);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,361 @@
+//! Sharded user-profile store.
+//!
+//! Holds the distilled per-user attribute vectors the SPA platform
+//! derives from LifeLogs. The store is sharded by user id so the
+//! LifeLogs Pre-processor Agent (which "replicates itself in pro-active
+//! way", §4) can update many users concurrently while the Smart
+//! Component reads training snapshots.
+//!
+//! Snapshots persist in a simple length-checked binary format so a
+//! platform restart does not require re-replaying the whole event log.
+
+use parking_lot::RwLock;
+use spa_types::{Result, SpaError, Timestamp, UserId};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// One user's stored profile: dense attribute values plus bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserProfile {
+    /// Attribute values indexed by `AttributeId::index()`.
+    pub values: Vec<f64>,
+    /// Number of updates applied (reward/punish events, EIT answers…).
+    pub updates: u64,
+    /// Time of the most recent update.
+    pub last_update: Timestamp,
+}
+
+impl UserProfile {
+    /// A fresh all-zero profile with `dim` attributes.
+    pub fn new(dim: usize) -> Self {
+        Self { values: vec![0.0; dim], updates: 0, last_update: Timestamp::from_millis(0) }
+    }
+}
+
+const SHARDS: usize = 64;
+
+/// Concurrent map `UserId → UserProfile`, sharded to reduce contention.
+pub struct ProfileStore {
+    dim: usize,
+    shards: Vec<RwLock<std::collections::HashMap<u32, UserProfile>>>,
+}
+
+impl ProfileStore {
+    /// Creates an empty store for `dim`-attribute profiles.
+    pub fn new(dim: usize) -> Self {
+        let shards = (0..SHARDS).map(|_| RwLock::new(std::collections::HashMap::new())).collect();
+        Self { dim, shards }
+    }
+
+    /// Attribute dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn shard(&self, user: UserId) -> &RwLock<std::collections::HashMap<u32, UserProfile>> {
+        &self.shards[(user.raw() as usize) % SHARDS]
+    }
+
+    /// Number of stored profiles.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no profiles are stored.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Clones the profile of `user`, if present.
+    pub fn get(&self, user: UserId) -> Option<UserProfile> {
+        self.shard(user).read().get(&user.raw()).cloned()
+    }
+
+    /// Inserts or replaces a profile.
+    pub fn put(&self, user: UserId, profile: UserProfile) -> Result<()> {
+        if profile.values.len() != self.dim {
+            return Err(SpaError::DimensionMismatch {
+                got: profile.values.len(),
+                expected: self.dim,
+            });
+        }
+        self.shard(user).write().insert(user.raw(), profile);
+        Ok(())
+    }
+
+    /// Applies `f` to the profile of `user`, creating a zero profile
+    /// first when absent. Bumps the update counter and timestamp.
+    pub fn update(&self, user: UserId, at: Timestamp, f: impl FnOnce(&mut [f64])) {
+        let mut shard = self.shard(user).write();
+        let profile =
+            shard.entry(user.raw()).or_insert_with(|| UserProfile::new(self.dim));
+        f(&mut profile.values);
+        profile.updates += 1;
+        profile.last_update = at;
+    }
+
+    /// Visits every `(user, profile)` pair (shard by shard; the lock is
+    /// held per shard, not globally).
+    pub fn for_each(&self, mut f: impl FnMut(UserId, &UserProfile)) {
+        for shard in &self.shards {
+            let guard = shard.read();
+            let mut entries: Vec<(&u32, &UserProfile)> = guard.iter().collect();
+            entries.sort_by_key(|(id, _)| **id);
+            for (&id, profile) in entries {
+                f(UserId::new(id), profile);
+            }
+        }
+    }
+
+    /// All user ids, ascending.
+    pub fn user_ids(&self) -> Vec<UserId> {
+        let mut ids = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            ids.extend(shard.read().keys().map(|&k| UserId::new(k)));
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Removes a profile, returning whether it existed.
+    pub fn remove(&self, user: UserId) -> bool {
+        self.shard(user).write().remove(&user.raw()).is_some()
+    }
+
+    // --- snapshot format -------------------------------------------------
+    //
+    // header:  magic "SPAP" | version u32 | dim u32 | count u64
+    // record:  user u32 | updates u64 | last_update u64 | dim × f64
+    // footer:  crc32 over everything after the magic
+
+    const MAGIC: &'static [u8; 4] = b"SPAP";
+    const VERSION: u32 = 1;
+
+    /// Writes a snapshot of the whole store.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<()> {
+        let mut body: Vec<u8> = Vec::new();
+        body.extend_from_slice(&Self::VERSION.to_le_bytes());
+        body.extend_from_slice(&(self.dim as u32).to_le_bytes());
+        let count = self.len() as u64;
+        body.extend_from_slice(&count.to_le_bytes());
+        self.for_each(|user, profile| {
+            body.extend_from_slice(&user.raw().to_le_bytes());
+            body.extend_from_slice(&profile.updates.to_le_bytes());
+            body.extend_from_slice(&profile.last_update.millis().to_le_bytes());
+            for v in &profile.values {
+                body.extend_from_slice(&v.to_le_bytes());
+            }
+        });
+        let crc = crate::codec::crc32(&body);
+        let mut file = BufWriter::new(File::create(path)?);
+        file.write_all(Self::MAGIC)?;
+        file.write_all(&body)?;
+        file.write_all(&crc.to_le_bytes())?;
+        file.flush()?;
+        Ok(())
+    }
+
+    /// Loads a snapshot previously written by [`Self::save_snapshot`].
+    pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Self> {
+        let mut bytes = Vec::new();
+        BufReader::new(File::open(path)?).read_to_end(&mut bytes)?;
+        if bytes.len() < 4 + 16 + 4 || &bytes[..4] != Self::MAGIC {
+            return Err(SpaError::Corrupt("snapshot header missing".into()));
+        }
+        let body = &bytes[4..bytes.len() - 4];
+        let crc_stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+        let crc_actual = crate::codec::crc32(body);
+        if crc_stored != crc_actual {
+            return Err(SpaError::Corrupt("snapshot checksum mismatch".into()));
+        }
+        let mut cursor = body;
+        let mut take = |n: usize| -> Result<&[u8]> {
+            if cursor.len() < n {
+                return Err(SpaError::Corrupt("snapshot truncated".into()));
+            }
+            let (head, tail) = cursor.split_at(n);
+            cursor = tail;
+            Ok(head)
+        };
+        let version = u32::from_le_bytes(take(4)?.try_into().expect("4"));
+        if version != Self::VERSION {
+            return Err(SpaError::Corrupt(format!("unsupported snapshot version {version}")));
+        }
+        let dim = u32::from_le_bytes(take(4)?.try_into().expect("4")) as usize;
+        let count = u64::from_le_bytes(take(8)?.try_into().expect("8"));
+        let store = ProfileStore::new(dim);
+        for _ in 0..count {
+            let user = UserId::new(u32::from_le_bytes(take(4)?.try_into().expect("4")));
+            let updates = u64::from_le_bytes(take(8)?.try_into().expect("8"));
+            let last_update =
+                Timestamp::from_millis(u64::from_le_bytes(take(8)?.try_into().expect("8")));
+            let mut values = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                values.push(f64::from_le_bytes(take(8)?.try_into().expect("8")));
+            }
+            store.put(user, UserProfile { values, updates, last_update })?;
+        }
+        if !cursor.is_empty() {
+            return Err(SpaError::Corrupt("snapshot has trailing bytes".into()));
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_file(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("spa-profiles-{name}-{}.snap", std::process::id()))
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let store = ProfileStore::new(3);
+        let mut profile = UserProfile::new(3);
+        profile.values = vec![1.0, 2.0, 3.0];
+        store.put(UserId::new(5), profile.clone()).unwrap();
+        assert_eq!(store.get(UserId::new(5)), Some(profile));
+        assert_eq!(store.get(UserId::new(6)), None);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn put_rejects_wrong_dimension() {
+        let store = ProfileStore::new(3);
+        assert!(store.put(UserId::new(1), UserProfile::new(4)).is_err());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn update_creates_and_bumps_counters() {
+        let store = ProfileStore::new(2);
+        store.update(UserId::new(9), Timestamp::from_millis(10), |v| v[0] = 1.0);
+        store.update(UserId::new(9), Timestamp::from_millis(20), |v| v[1] = 2.0);
+        let p = store.get(UserId::new(9)).unwrap();
+        assert_eq!(p.values, vec![1.0, 2.0]);
+        assert_eq!(p.updates, 2);
+        assert_eq!(p.last_update, Timestamp::from_millis(20));
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let store = ProfileStore::new(1);
+        store.update(UserId::new(1), Timestamp::from_millis(0), |_| {});
+        assert!(store.remove(UserId::new(1)));
+        assert!(!store.remove(UserId::new(1)));
+    }
+
+    #[test]
+    fn user_ids_are_sorted_across_shards() {
+        let store = ProfileStore::new(1);
+        for id in [300u32, 2, 65, 64, 190] {
+            store.update(UserId::new(id), Timestamp::from_millis(0), |_| {});
+        }
+        assert_eq!(
+            store.user_ids(),
+            vec![
+                UserId::new(2),
+                UserId::new(64),
+                UserId::new(65),
+                UserId::new(190),
+                UserId::new(300)
+            ]
+        );
+    }
+
+    #[test]
+    fn for_each_visits_everything_once() {
+        let store = ProfileStore::new(1);
+        for id in 0..500u32 {
+            store.update(UserId::new(id), Timestamp::from_millis(0), |v| v[0] = id as f64);
+        }
+        let mut seen = std::collections::HashSet::new();
+        store.for_each(|user, profile| {
+            assert_eq!(profile.values[0], user.raw() as f64);
+            assert!(seen.insert(user));
+        });
+        assert_eq!(seen.len(), 500);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let store = ProfileStore::new(4);
+        for id in 0..100u32 {
+            store.update(UserId::new(id), Timestamp::from_millis(id as u64), |v| {
+                v[(id % 4) as usize] = id as f64 / 7.0;
+            });
+        }
+        let path = tmp_file("roundtrip");
+        store.save_snapshot(&path).unwrap();
+        let loaded = ProfileStore::load_snapshot(&path).unwrap();
+        assert_eq!(loaded.len(), 100);
+        assert_eq!(loaded.dim(), 4);
+        for id in 0..100u32 {
+            assert_eq!(loaded.get(UserId::new(id)), store.get(UserId::new(id)));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_detects_corruption() {
+        let store = ProfileStore::new(2);
+        store.update(UserId::new(1), Timestamp::from_millis(1), |v| v[0] = 1.0);
+        let path = tmp_file("corrupt");
+        store.save_snapshot(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(ProfileStore::load_snapshot(&path), Err(SpaError::Corrupt(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_magic() {
+        let path = tmp_file("magic");
+        std::fs::write(&path, b"NOPE-not-a-snapshot-file-at-all!").unwrap();
+        assert!(matches!(ProfileStore::load_snapshot(&path), Err(SpaError::Corrupt(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let store = ProfileStore::new(7);
+        let path = tmp_file("empty");
+        store.save_snapshot(&path).unwrap();
+        let loaded = ProfileStore::load_snapshot(&path).unwrap();
+        assert!(loaded.is_empty());
+        assert_eq!(loaded.dim(), 7);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_increments() {
+        let store = std::sync::Arc::new(ProfileStore::new(1));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    store.update(UserId::new(i % 50), Timestamp::from_millis(0), |v| {
+                        v[0] += 1.0;
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: f64 = {
+            let mut t = 0.0;
+            store.for_each(|_, p| t += p.values[0]);
+            t
+        };
+        assert_eq!(total, 8.0 * 1000.0);
+    }
+}

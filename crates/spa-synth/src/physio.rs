@@ -1,0 +1,226 @@
+//! Physiological-signal substrate (the paper's future work, §7).
+//!
+//! "We are sensing physiological and contextual parameters of
+//! firefighters in Paris brigades through wearable computing in the
+//! wearIT@work project … mapping physiological signals to user's
+//! emotional context" so an Ambient Recommender System can advise the
+//! team commander about each firefighter's operational fitness.
+//!
+//! No wearable hardware is available here, so this module simulates the
+//! closest equivalent: a seeded generator of heart-rate /
+//! skin-conductance / respiration streams conditioned on a latent
+//! emotional state, plus the inverse mapping ([`classify`]) from a
+//! signal window to the expressed emotional attributes and an
+//! operational-fitness valence. The mapping exercises the same code
+//! path the e-commerce deployment used — LifeLog events carrying
+//! valence evidence into the SUM — with physiology replacing EIT
+//! answers.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use spa_types::{EmotionalAttribute, Result, SpaError, Valence};
+
+/// Latent arousal/stress state of a monitored subject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StressState {
+    /// Resting / routine operations.
+    Calm,
+    /// Engaged and performing (elevated but controlled arousal).
+    Focused,
+    /// Acute stress (alarm response; degraded fitness).
+    Overloaded,
+}
+
+impl StressState {
+    /// All states.
+    pub const ALL: [StressState; 3] =
+        [StressState::Calm, StressState::Focused, StressState::Overloaded];
+
+    /// Mean (heart-rate bpm, skin conductance µS, respiration rpm).
+    fn signal_means(self) -> (f64, f64, f64) {
+        match self {
+            StressState::Calm => (72.0, 2.0, 14.0),
+            StressState::Focused => (105.0, 6.0, 20.0),
+            StressState::Overloaded => (155.0, 13.0, 31.0),
+        }
+    }
+
+    /// Emotional attributes this state expresses, with valence.
+    pub fn expressed_emotions(self) -> &'static [(EmotionalAttribute, f64)] {
+        match self {
+            StressState::Calm => {
+                &[(EmotionalAttribute::Hopeful, 0.4), (EmotionalAttribute::Apathetic, 0.2)]
+            }
+            StressState::Focused => &[
+                (EmotionalAttribute::Stimulated, 0.8),
+                (EmotionalAttribute::Motivated, 0.7),
+                (EmotionalAttribute::Lively, 0.5),
+            ],
+            StressState::Overloaded => &[
+                (EmotionalAttribute::Frightened, 0.9),
+                (EmotionalAttribute::Impatient, 0.7),
+            ],
+        }
+    }
+
+    /// Operational-fitness valence the commander's adviser should see:
+    /// attraction = fit for the task, aversion = pull the firefighter
+    /// back.
+    pub fn fitness(self) -> Valence {
+        match self {
+            StressState::Calm => Valence::new(0.3),
+            StressState::Focused => Valence::new(0.9),
+            StressState::Overloaded => Valence::new(-0.8),
+        }
+    }
+}
+
+/// One sampled window of wearable signals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhysioSample {
+    /// Heart rate, beats per minute.
+    pub heart_rate: f64,
+    /// Skin conductance, microsiemens.
+    pub skin_conductance: f64,
+    /// Respiration rate, breaths per minute.
+    pub respiration: f64,
+}
+
+/// Generates a signal window for a latent state (seeded, deterministic).
+pub fn sample(state: StressState, seed: u64) -> PhysioSample {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gauss = |sd: f64| {
+        let s: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
+        (s - 6.0) * sd
+    };
+    let (hr, sc, rr) = state.signal_means();
+    PhysioSample {
+        heart_rate: (hr + gauss(6.0)).max(35.0),
+        skin_conductance: (sc + gauss(0.9)).max(0.1),
+        respiration: (rr + gauss(1.8)).max(6.0),
+    }
+}
+
+/// Classification result for one signal window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysioReading {
+    /// Most likely latent state.
+    pub state: StressState,
+    /// Emotional evidence to feed the SUM (attribute, valence), exactly
+    /// the shape of Gradual-EIT answers.
+    pub emotions: Vec<(EmotionalAttribute, Valence)>,
+    /// Operational fitness for the commander's adviser.
+    pub fitness: Valence,
+}
+
+/// Maps a signal window back to the emotional context (nearest-centroid
+/// over standardized signal space — the platform-side decoder).
+pub fn classify(sample: &PhysioSample) -> Result<PhysioReading> {
+    if !(sample.heart_rate.is_finite()
+        && sample.skin_conductance.is_finite()
+        && sample.respiration.is_finite())
+    {
+        return Err(SpaError::Invalid("non-finite physiological sample".into()));
+    }
+    // standardize by rough physiological dynamic ranges
+    let norm = |s: &PhysioSample| [s.heart_rate / 40.0, s.skin_conductance / 4.0, s.respiration / 8.0];
+    let x = norm(sample);
+    let mut best = (StressState::Calm, f64::INFINITY);
+    for state in StressState::ALL {
+        let (hr, sc, rr) = state.signal_means();
+        let c = norm(&PhysioSample { heart_rate: hr, skin_conductance: sc, respiration: rr });
+        let d2: f64 = x.iter().zip(c.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+        if d2 < best.1 {
+            best = (state, d2);
+        }
+    }
+    let state = best.0;
+    let emotions = state
+        .expressed_emotions()
+        .iter()
+        .map(|&(emo, v)| (emo, Valence::new(v)))
+        .collect();
+    Ok(PhysioReading { state, emotions, fitness: state.fitness() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = sample(StressState::Focused, 7);
+        let b = sample(StressState::Focused, 7);
+        let c = sample(StressState::Focused, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn classification_recovers_the_generating_state() {
+        let mut correct = 0;
+        let total = 300;
+        for seed in 0..total / 3 {
+            for state in StressState::ALL {
+                let reading = classify(&sample(state, seed)).unwrap();
+                if reading.state == state {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(
+            correct as f64 / total as f64 > 0.95,
+            "only {correct}/{total} windows classified correctly"
+        );
+    }
+
+    #[test]
+    fn overload_reads_as_unfit_and_frightened() {
+        let reading = classify(&PhysioSample {
+            heart_rate: 160.0,
+            skin_conductance: 14.0,
+            respiration: 32.0,
+        })
+        .unwrap();
+        assert_eq!(reading.state, StressState::Overloaded);
+        assert!(reading.fitness.is_negative());
+        assert!(reading
+            .emotions
+            .iter()
+            .any(|(e, v)| *e == EmotionalAttribute::Frightened && v.is_positive()));
+    }
+
+    #[test]
+    fn focus_reads_as_fit() {
+        let reading = classify(&PhysioSample {
+            heart_rate: 104.0,
+            skin_conductance: 6.2,
+            respiration: 19.0,
+        })
+        .unwrap();
+        assert_eq!(reading.state, StressState::Focused);
+        assert!(reading.fitness.value() > 0.5);
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected() {
+        assert!(classify(&PhysioSample {
+            heart_rate: f64::NAN,
+            skin_conductance: 1.0,
+            respiration: 10.0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn signals_stay_physiological() {
+        for state in StressState::ALL {
+            for seed in 0..50 {
+                let s = sample(state, seed);
+                assert!(s.heart_rate >= 35.0 && s.heart_rate < 220.0);
+                assert!(s.skin_conductance > 0.0);
+                assert!(s.respiration >= 6.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Workspace error type.
+
+use std::fmt;
+
+/// Errors surfaced by SPA components.
+///
+/// A single workspace-wide error enum keeps `Result` signatures uniform
+/// across substrates without pulling in an error-derive dependency.
+#[derive(Debug)]
+pub enum SpaError {
+    /// An attribute name was registered twice in one schema.
+    DuplicateAttribute(String),
+    /// A referenced entity does not exist.
+    NotFound(String),
+    /// Two containers that must agree on dimensionality do not.
+    DimensionMismatch {
+        /// What the caller supplied.
+        got: usize,
+        /// What the callee required.
+        expected: usize,
+    },
+    /// Invalid argument or configuration value.
+    Invalid(String),
+    /// Underlying I/O failure (storage substrate).
+    Io(std::io::Error),
+    /// A stored record failed integrity verification (bad checksum,
+    /// truncated frame, unknown tag).
+    Corrupt(String),
+    /// A model was used before being trained.
+    NotTrained,
+}
+
+impl fmt::Display for SpaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute name: {name:?}")
+            }
+            SpaError::NotFound(what) => write!(f, "not found: {what}"),
+            SpaError::DimensionMismatch { got, expected } => {
+                write!(f, "dimension mismatch: got {got}, expected {expected}")
+            }
+            SpaError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+            SpaError::Io(e) => write!(f, "i/o error: {e}"),
+            SpaError::Corrupt(msg) => write!(f, "corrupt record: {msg}"),
+            SpaError::NotTrained => write!(f, "model used before training"),
+        }
+    }
+}
+
+impl std::error::Error for SpaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SpaError {
+    fn from(e: std::io::Error) -> Self {
+        SpaError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SpaError::DimensionMismatch { got: 3, expected: 5 };
+        assert_eq!(e.to_string(), "dimension mismatch: got 3, expected 5");
+        assert!(SpaError::NotTrained.to_string().contains("before training"));
+        assert!(SpaError::DuplicateAttribute("x".into()).to_string().contains("\"x\""));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::other("disk on fire");
+        let e: SpaError = io.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        assert!(SpaError::NotTrained.source().is_none());
+    }
+}

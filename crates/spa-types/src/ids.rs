@@ -1,0 +1,149 @@
+//! Strongly-typed identifiers.
+//!
+//! Every entity in the platform is addressed by a dedicated newtype over
+//! a small integer. Newtypes prevent the classic bug of passing a user id
+//! where an action id is expected, cost nothing at runtime, and keep hot
+//! structures compact (u32 indices, per the type-size guidance for
+//! oft-instantiated types).
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the raw index widened to `usize`, for slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            #[inline]
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A registered user of the recommender system.
+    ///
+    /// The emagister.com deployment had 3,162,069 registered users
+    /// (paper §5.1); `u32` comfortably covers that scale.
+    UserId,
+    "u"
+);
+
+define_id!(
+    /// One of the catalogued on-line actions a user can take
+    /// (984 in the deployment: click-streams, information requests,
+    /// enrollments, opinions, …).
+    ActionId,
+    "a"
+);
+
+define_id!(
+    /// A training course offered through the Intelligent Learning Guide.
+    CourseId,
+    "c"
+);
+
+define_id!(
+    /// A user-model attribute (objective, subjective or emotional).
+    AttributeId,
+    "attr"
+);
+
+define_id!(
+    /// A push or newsletter campaign.
+    CampaignId,
+    "camp"
+);
+
+define_id!(
+    /// A question of the Gradual Emotional Intelligence Test.
+    QuestionId,
+    "q"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn round_trips_raw_value() {
+        let id = UserId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.index(), 42usize);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(UserId::from(42u32), id);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(UserId::new(7).to_string(), "u7");
+        assert_eq!(ActionId::new(7).to_string(), "a7");
+        assert_eq!(CourseId::new(7).to_string(), "c7");
+        assert_eq!(AttributeId::new(7).to_string(), "attr7");
+        assert_eq!(CampaignId::new(7).to_string(), "camp7");
+        assert_eq!(QuestionId::new(7).to_string(), "q7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(UserId::new(1) < UserId::new(2));
+        assert_eq!(UserId::new(3), UserId::new(3));
+    }
+
+    #[test]
+    fn usable_as_hash_key() {
+        let mut set = HashSet::new();
+        set.insert(ActionId::new(1));
+        set.insert(ActionId::new(1));
+        set.insert(ActionId::new(2));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(CourseId::default().raw(), 0);
+    }
+
+    #[test]
+    fn ids_are_compact() {
+        assert_eq!(std::mem::size_of::<UserId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<UserId>>(), 8);
+    }
+}

@@ -1,0 +1,66 @@
+//! Reproduction of the paper's **§5.1 data description** (experiment
+//! E5): generate the synthetic emagister-like dataset and print the same
+//! inventory the paper reports, including the WebLog volume estimate
+//! ("WebLogs are close to 50 Gb/month" at 3.16M users).
+//!
+//! ```text
+//! cargo run --release --example dataset_stats [n_users]
+//! ```
+
+use spa::prelude::*;
+use spa::synth::weblog::{self, WeblogConfig};
+
+fn main() -> Result<(), SpaError> {
+    let n_users: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("n_users must be an integer"))
+        .unwrap_or(100_000);
+
+    let population = Population::generate(PopulationConfig { n_users, ..Default::default() })?;
+    let actions = ActionCatalog::emagister();
+    let courses = CourseCatalog::generate(400, 24, 5)?;
+    let schema = population.schema();
+
+    let mut events_sample = 0u64;
+    let stats = weblog::generate_weblogs(
+        &population,
+        &actions,
+        &courses,
+        &WeblogConfig::default(),
+        |_| events_sample += 1,
+    )?;
+
+    let paper_users = 3_162_069.0;
+    let scale = paper_users / n_users as f64;
+    let gb = |bytes: f64| bytes / (1024.0 * 1024.0 * 1024.0);
+
+    println!("Synthetic dataset inventory (paper §5.1 in parentheses)");
+    println!("--------------------------------------------------------");
+    println!("registered users          : {:>12} (3,162,069)", n_users);
+    println!("attributes                : {:>12} (75)", schema.len());
+    println!(
+        "  objective / subjective / emotional : {} / {} / {}  (40/25/10 split is ours; the paper only fixes 75 total and 10 emotional)",
+        schema.count_of(AttributeKind::Objective),
+        schema.count_of(AttributeKind::Subjective),
+        schema.count_of(AttributeKind::Emotional),
+    );
+    println!("catalogued actions        : {:>12} (984)", actions.len());
+    println!(
+        "emotional attributes      : {:>12} ({})",
+        10,
+        EMOTIONAL_ATTRIBUTES.map(|e| e.name()).join(", ")
+    );
+    println!("weblog events (30 days)   : {:>12}", stats.events);
+    println!("  of which transactions   : {:>12}", stats.transactions);
+    println!("  active users            : {:>12}", stats.active_users);
+    println!(
+        "weblog volume             : {:>9.2} GB/month at this scale",
+        gb(stats.estimated_bytes_per_month as f64)
+    );
+    println!(
+        "  extrapolated to 3.16M users : {:>6.1} GB/month (paper: ~50 GB/month)",
+        gb(stats.estimated_bytes_per_month as f64 * scale)
+    );
+    assert_eq!(events_sample, stats.events);
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Reproduction of the paper's **Table 1**: the Four-Branch Model of
+//! Emotional Intelligence (MSCEIT V2.0) that structures the Gradual EIT,
+//! plus the question bank built on it.
+//!
+//! ```text
+//! cargo run --example table1_four_branch
+//! ```
+
+use spa::core::QuestionBank;
+use spa::prelude::*;
+use spa::types::four_branch;
+
+fn main() {
+    // the taxonomy itself
+    print!("{}", four_branch::render_table1());
+
+    // the Gradual-EIT question bank derived from it
+    let bank = QuestionBank::standard();
+    println!("\nGradual-EIT question bank: {} questions", bank.len());
+    for branch in BRANCHES {
+        let questions = bank.for_branch(branch);
+        println!("\n{branch} — {} questions", questions.len());
+        if let Some(first) = questions.first() {
+            println!("  e.g. [{}] {}", first.target, first.text);
+        }
+    }
+    for target in EMOTIONAL_ATTRIBUTES {
+        assert_eq!(bank.for_target(target).len(), BRANCHES.len());
+    }
+    println!("\nevery emotional attribute is probed through every branch ✓");
+}
