@@ -179,7 +179,7 @@ mod tests {
             .unwrap();
         let handle = rt.start();
         handle.post("a", 9); // a,b alternate for 10 messages total
-        // wait for quiescence
+                             // wait for quiescence
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         while hits_a.load(Ordering::SeqCst) + hits_b.load(Ordering::SeqCst) < 10 {
             assert!(std::time::Instant::now() < deadline, "timed out waiting for messages");

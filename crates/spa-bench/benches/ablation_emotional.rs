@@ -25,10 +25,8 @@ fn regenerate_ablation() {
         .unwrap()
         .run()
         .unwrap();
-    let masked = Experiment::new(ExperimentConfig { mask_emotional: true, ..base })
-        .unwrap()
-        .run()
-        .unwrap();
+    let masked =
+        Experiment::new(ExperimentConfig { mask_emotional: true, ..base }).unwrap().run().unwrap();
     println!("\n=== regenerated E7 ablation at {BENCH_USERS} users ===");
     println!(
         "AUC            : full {:.3}  masked {:.3}  Δ {:+.3}",
@@ -66,9 +64,7 @@ fn benches(c: &mut Criterion) {
     group.bench_function("advice_row_activation", |b| {
         b.iter(|| black_box(model.advice_row(&schema).unwrap().nnz()))
     });
-    group.bench_function("plain_feature_row", |b| {
-        b.iter(|| black_box(model.feature_row().nnz()))
-    });
+    group.bench_function("plain_feature_row", |b| b.iter(|| black_box(model.feature_row().nnz())));
     group.bench_function("emotional_mask_projection", |b| {
         b.iter(|| black_box(row.masked(|i| i < 65).nnz()))
     });

@@ -11,19 +11,16 @@ use spa_types::UserId;
 use std::hint::black_box;
 
 fn regenerate_stats() {
-    let population = Population::generate(PopulationConfig {
-        n_users: BENCH_USERS,
-        ..Default::default()
-    })
-    .unwrap();
+    let population =
+        Population::generate(PopulationConfig { n_users: BENCH_USERS, ..Default::default() })
+            .unwrap();
     let actions = ActionCatalog::emagister();
     let courses = CourseCatalog::generate(100, 12, 5).unwrap();
     let mut events = 0u64;
-    let stats =
-        generate_weblogs(&population, &actions, &courses, &WeblogConfig::default(), |_| {
-            events += 1
-        })
-        .unwrap();
+    let stats = generate_weblogs(&population, &actions, &courses, &WeblogConfig::default(), |_| {
+        events += 1
+    })
+    .unwrap();
     println!("\n=== regenerated §5.1 inventory at {BENCH_USERS} users ===");
     println!("attributes 75, actions {}, emotional 10", actions.len());
     println!(
@@ -53,20 +50,16 @@ fn benches(c: &mut Criterion) {
         })
     });
 
-    let population = Population::generate(PopulationConfig {
-        n_users: BENCH_USERS,
-        ..Default::default()
-    })
-    .unwrap();
+    let population =
+        Population::generate(PopulationConfig { n_users: BENCH_USERS, ..Default::default() })
+            .unwrap();
     let actions = ActionCatalog::emagister();
     let courses = CourseCatalog::generate(100, 12, 5).unwrap();
     group.bench_function("weblog_generation", |b| {
         b.iter(|| {
             let mut n = 0u64;
-            generate_weblogs(&population, &actions, &courses, &WeblogConfig::default(), |_| {
-                n += 1
-            })
-            .unwrap();
+            generate_weblogs(&population, &actions, &courses, &WeblogConfig::default(), |_| n += 1)
+                .unwrap();
             black_box(n)
         })
     });

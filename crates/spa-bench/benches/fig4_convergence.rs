@@ -81,13 +81,10 @@ fn bench_reward_punish(c: &mut Criterion) {
     let campaign = CampaignId::new(1);
     spa.register_campaign(campaign, &[EmotionalAttribute::Hopeful, EmotionalAttribute::Lively]);
     let user = spa_types::UserId::new(1);
-    let open = LifeLogEvent::new(user, Timestamp::from_millis(0), EventKind::MessageOpened {
-        campaign,
-    });
+    let open =
+        LifeLogEvent::new(user, Timestamp::from_millis(0), EventKind::MessageOpened { campaign });
     let mut group = c.benchmark_group("fig4");
-    group.bench_function("reward_open_event", |b| {
-        b.iter(|| spa.ingest(black_box(&open)).unwrap())
-    });
+    group.bench_function("reward_open_event", |b| b.iter(|| spa.ingest(black_box(&open)).unwrap()));
     group.bench_function("punish_ignored", |b| {
         b.iter(|| spa.punish_ignored(black_box(user), black_box(campaign)))
     });

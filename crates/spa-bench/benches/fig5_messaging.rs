@@ -29,10 +29,13 @@ fn bench_assignment(c: &mut Criterion) {
         MessageCatalog::standard_catalog("the course"),
         MessagePolicy::MaxSensibility,
     );
-    let priority_agent =
-        MessagingAgent::new(MessageCatalog::standard_catalog("the course"), MessagePolicy::Priority);
+    let priority_agent = MessagingAgent::new(
+        MessageCatalog::standard_catalog("the course"),
+        MessagePolicy::Priority,
+    );
     let product = [Lively, Stimulated, Shy, Frightened, Hopeful];
-    let sens = [(Frightened, 0.99), (Shy, 0.92), (Stimulated, 0.85), (Lively, 0.80), (Empathic, 0.7)];
+    let sens =
+        [(Frightened, 0.99), (Shy, 0.92), (Stimulated, 0.85), (Lively, 0.80), (Empathic, 0.7)];
     let mut group = c.benchmark_group("fig5");
     group.bench_function("assign_max_sensibility", |b| {
         b.iter(|| black_box(agent.assign(black_box(&product), black_box(&sens)).unwrap()))

@@ -32,11 +32,9 @@ fn regenerate_fig6() {
 }
 
 fn bench_campaign_execution(c: &mut Criterion) {
-    let population = Population::generate(PopulationConfig {
-        n_users: BENCH_USERS,
-        ..Default::default()
-    })
-    .expect("population generates");
+    let population =
+        Population::generate(PopulationConfig { n_users: BENCH_USERS, ..Default::default() })
+            .expect("population generates");
     let courses = CourseCatalog::generate(40, 8, 3).expect("catalog generates");
     let response = ResponseModel::new(ResponseConfig::default())
         .calibrate_mixed(&population, 0.21, 0.2)

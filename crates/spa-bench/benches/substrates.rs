@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use spa_linalg::SparseVec;
+use spa_linalg::{SparseRow, SparseVec};
 use spa_ml::svm::{LinearSvm, SvmConfig};
 use spa_ml::{Classifier, Dataset, OnlineLearner};
 use spa_store::log::{EventLog, LogConfig};
@@ -87,9 +87,7 @@ fn bench_event_log(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("store");
     group.throughput(Throughput::Elements(1));
-    group.bench_function("event_log_append", |b| {
-        b.iter(|| log.append(black_box(&event)).unwrap())
-    });
+    group.bench_function("event_log_append", |b| b.iter(|| log.append(black_box(&event)).unwrap()));
     group.finish();
 
     // replay throughput over a fixed 50k-event log
@@ -135,9 +133,65 @@ fn bench_profile_store(c: &mut Criterion) {
     group.finish();
 }
 
+/// Row access: the old owned-clone path (`row_vec`) versus the
+/// zero-copy `RowView` path, scoring every row of a 20k×75 matrix
+/// against a dense weight vector. The delta is exactly the per-row
+/// allocation cost the RowView refactor removed.
+fn bench_row_access(c: &mut Criterion) {
+    let data = training_set(20_000, 75, 30, 7);
+    let weights = vec![0.125f64; 75];
+    let mut group = c.benchmark_group("row_access");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("row_vec_dot_20k (owned clone per row)", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 0..data.len() {
+                acc += data.x.row_vec(r).dot_dense(&weights);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("row_view_dot_20k (zero-copy)", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 0..data.len() {
+                acc += data.x.row(r).dot_dense(&weights);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// Batch scoring: serial versus parallel `decision_batch` at 20k and
+/// 100k rows (the paper's per-campaign workload is 1.34M). On a
+/// multi-core host the parallel path should approach core-count
+/// speedup; outputs are bit-identical either way.
+fn bench_decision_batch(c: &mut Criterion) {
+    for &n in &[20_000usize, 100_000] {
+        let data = training_set(n, 75, 30, 11);
+        let mut svm = LinearSvm::new(75, SvmConfig::default());
+        svm.fit(&data).unwrap();
+        let mut group = c.benchmark_group("decision_batch");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("serial_{}k", n / 1000), |b| {
+            b.iter(|| black_box(svm.decision_batch_serial(&data).unwrap().len()))
+        });
+        group.bench_function(
+            format!("parallel_{}k_{}threads", n / 1000, rayon::current_num_threads()),
+            |b| b.iter(|| black_box(svm.decision_batch(&data).unwrap().len())),
+        );
+        group.finish();
+    }
+}
+
 fn benches(c: &mut Criterion) {
     bench_svm(c);
     bench_sparse(c);
+    bench_row_access(c);
+    bench_decision_batch(c);
     bench_event_log(c);
     bench_profile_store(c);
 }

@@ -123,11 +123,13 @@ impl<'a> CampaignRunner<'a> {
             .collect()
     }
 
-    /// Runs one campaign. `score_user` supplies the selection-function
-    /// score recorded per contact (pass a constant for untrained runs);
-    /// it also receives the message the platform is about to send —
-    /// known before the response, so legitimate scoring input.
-    /// `update_model` receives each outcome for incremental learning.
+    /// Runs one campaign serially. `score_user` supplies the
+    /// selection-function score recorded per contact (pass a constant
+    /// for untrained runs); it also receives the message the platform
+    /// is about to send — known before the response, so legitimate
+    /// scoring input. `update_model` receives each outcome for
+    /// incremental learning (the reason this path stays serial: online
+    /// updates are order-dependent).
     pub fn run(
         &self,
         spa: &Spa,
@@ -143,53 +145,121 @@ impl<'a> CampaignRunner<'a> {
         let mut contacts = Vec::with_capacity(audience.len());
         let mut responses = 0usize;
         for (k, user) in audience.into_iter().enumerate() {
-            let latent = self
-                .population
-                .user(user)
-                .ok_or_else(|| SpaError::NotFound(format!("user {user}")))?;
-
-            // contact: delivery + the one EIT question of this contact
-            spa.ingest(&LifeLogEvent::new(
-                user,
-                spec.at,
-                EventKind::MessageDelivered { campaign: spec.id },
-            ))?;
-            let question = spa.next_eit_question(user);
-            let eit_event = spa_synth::eit::AnswerSimulator::default().react(
-                latent,
-                question.id,
-                question.target,
-                spec.id.raw() as u64,
-                spec.at,
-            );
-            spa.ingest(&eit_event)?;
-
-            // individualized message (§5.3)
-            let message = spa.assign_message(user, &spec.course.appeal)?;
-            let score = score_user(spa, user, &message);
-
-            // latent response draw
-            let contact_key = (spec.id.raw() as u64) << 32 | k as u64;
-            let responded = self.response.responds(latent, message.attribute, contact_key);
-            if responded {
-                responses += 1;
-                spa.ingest(&LifeLogEvent::new(
-                    user,
-                    spec.at.plus_millis(60_000),
-                    EventKind::MessageOpened { campaign: spec.id },
-                ))?;
-                spa.ingest(&LifeLogEvent::new(
-                    user,
-                    spec.at.plus_millis(120_000),
-                    EventKind::Transaction { course: spec.course.id, campaign: Some(spec.id) },
-                ))?;
-            } else {
-                spa.punish_ignored(user, spec.id);
-            }
-            update_model(spa, user, responded);
-            contacts.push(ContactRecord { user, score, appeal: message.attribute, responded });
+            let (record, ()) = self.contact(spa, spec, k, user, |spa, user, message| {
+                (score_user(spa, user, message), ())
+            })?;
+            responses += record.responded as usize;
+            update_model(spa, user, record.responded);
+            contacts.push(record);
         }
         Ok(CampaignOutcome { id: spec.id, channel: spec.channel, contacts, responses })
+    }
+
+    /// Runs one campaign with contacts fanned out across threads
+    /// (`parallel` feature; falls back to a serial loop without it),
+    /// collecting an extra per-contact payload from the hook.
+    ///
+    /// Contacts of one campaign touch *distinct* users (the audience is
+    /// sampled without replacement), every SUM mutation is per-user
+    /// behind the sharded registry locks, and the response draw is
+    /// keyed by `(campaign, contact index)` — so contacts are
+    /// independent and the outcome is **byte-identical at any thread
+    /// count**, including 1. The hook sees the contact index `k` and
+    /// must be a pure function of the platform state for its user.
+    ///
+    /// Incremental model updates don't fit this shape (they are
+    /// order-dependent across users); use [`Self::run`] for those.
+    pub fn run_collect<T: Send>(
+        &self,
+        spa: &Spa,
+        spec: &CampaignSpec,
+        contact_hook: impl Fn(&Spa, UserId, &AssignedMessage) -> (f64, T) + Sync,
+    ) -> Result<(CampaignOutcome, Vec<T>)> {
+        if spec.course.appeal.is_empty() {
+            return Err(SpaError::Invalid("campaign course has no appeal attributes".into()));
+        }
+        spa.register_campaign(spec.id, &spec.course.appeal);
+        let audience = self.draw_audience(spec);
+        let results: Vec<Result<(ContactRecord, T)>>;
+        #[cfg(feature = "parallel")]
+        {
+            use rayon::prelude::*;
+            results = (0..audience.len())
+                .into_par_iter()
+                .map(|k| self.contact(spa, spec, k, audience[k], &contact_hook))
+                .collect();
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            results = (0..audience.len())
+                .map(|k| self.contact(spa, spec, k, audience[k], &contact_hook))
+                .collect();
+        }
+        let mut contacts = Vec::with_capacity(results.len());
+        let mut payloads = Vec::with_capacity(results.len());
+        let mut responses = 0usize;
+        for result in results {
+            let (record, payload) = result?;
+            responses += record.responded as usize;
+            contacts.push(record);
+            payloads.push(payload);
+        }
+        Ok((CampaignOutcome { id: spec.id, channel: spec.channel, contacts, responses }, payloads))
+    }
+
+    /// One contact: delivery, the contact's single EIT question, message
+    /// assignment, scoring, latent response draw and reward/punish
+    /// feedback. Touches only `user`'s state, so contacts of distinct
+    /// users commute.
+    fn contact<T>(
+        &self,
+        spa: &Spa,
+        spec: &CampaignSpec,
+        k: usize,
+        user: UserId,
+        contact_hook: impl FnOnce(&Spa, UserId, &AssignedMessage) -> (f64, T),
+    ) -> Result<(ContactRecord, T)> {
+        let latent =
+            self.population.user(user).ok_or_else(|| SpaError::NotFound(format!("user {user}")))?;
+
+        // contact: delivery + the one EIT question of this contact
+        spa.ingest(&LifeLogEvent::new(
+            user,
+            spec.at,
+            EventKind::MessageDelivered { campaign: spec.id },
+        ))?;
+        let question = spa.next_eit_question(user);
+        let eit_event = spa_synth::eit::AnswerSimulator::default().react(
+            latent,
+            question.id,
+            question.target,
+            spec.id.raw() as u64,
+            spec.at,
+        );
+        spa.ingest(&eit_event)?;
+
+        // individualized message (§5.3)
+        let message = spa.assign_message(user, &spec.course.appeal)?;
+        let (score, payload) = contact_hook(spa, user, &message);
+
+        // latent response draw
+        let contact_key = (spec.id.raw() as u64) << 32 | k as u64;
+        let responded = self.response.responds(latent, message.attribute, contact_key);
+        if responded {
+            spa.ingest(&LifeLogEvent::new(
+                user,
+                spec.at.plus_millis(60_000),
+                EventKind::MessageOpened { campaign: spec.id },
+            ))?;
+            spa.ingest(&LifeLogEvent::new(
+                user,
+                spec.at.plus_millis(120_000),
+                EventKind::Transaction { course: spec.course.id, campaign: Some(spec.id) },
+            ))?;
+        } else {
+            spa.punish_ignored(user, spec.id);
+        }
+        Ok((ContactRecord { user, score, appeal: message.attribute, responded }, payload))
     }
 }
 
@@ -252,10 +322,7 @@ mod tests {
         let s = spec(&courses, 4, 400);
         let outcome = runner.run(&spa, &s, |_, _, _| 0.0, |_, _, _| {}).unwrap();
         assert_eq!(outcome.contacts.len(), 400);
-        assert_eq!(
-            outcome.responses,
-            outcome.contacts.iter().filter(|c| c.responded).count()
-        );
+        assert_eq!(outcome.responses, outcome.contacts.iter().filter(|c| c.responded).count());
         // calibrated near 21% but messages are model-assigned, so allow slack
         let rate = outcome.predictive_score();
         assert!((0.03..0.5).contains(&rate), "response rate {rate}");

@@ -153,7 +153,8 @@ impl Experiment {
             seed: config.seed,
             ..Default::default()
         })?;
-        let courses = CourseCatalog::generate(config.n_courses, config.n_topics, config.seed ^ 0xC0)?;
+        let courses =
+            CourseCatalog::generate(config.n_courses, config.n_topics, config.seed ^ 0xC0)?;
         let actions = ActionCatalog::emagister();
         // Calibrate against the realistic campaign mix (empirically,
         // just over a third of contacts end up emotionally matched and
@@ -161,11 +162,9 @@ impl Experiment {
         // dominant-matched coverage of 0.35 reproduces the paper's ≈21%
         // realized rate; the Gradual EIT never reaches full coverage —
         // §5.2's sparsity).
-        let response = ResponseModel::new(ResponseConfig {
-            seed: config.seed ^ 0x0E5,
-            ..Default::default()
-        })
-        .calibrate_mixed(&population, config.response_target, 0.35)?;
+        let response =
+            ResponseModel::new(ResponseConfig { seed: config.seed ^ 0x0E5, ..Default::default() })
+                .calibrate_mixed(&population, config.response_target, 0.35)?;
         Ok(Self { config, population, courses, actions, response })
     }
 
@@ -321,10 +320,8 @@ impl Experiment {
         }
         // Gradual-EIT warm-up: one question per contact, scheduled by
         // the engine, answered (or skipped) by the latent simulator.
-        let answer_sim = spa_synth::eit::AnswerSimulator {
-            noise: 0.10,
-            seed: self.config.seed ^ 0xE17,
-        };
+        let answer_sim =
+            spa_synth::eit::AnswerSimulator { noise: 0.10, seed: self.config.seed ^ 0xE17 };
         for round in 0..self.config.history_eit_rounds {
             for user in self.population.users() {
                 let question = spa.next_eit_question(user.id);
@@ -342,26 +339,21 @@ impl Experiment {
         let runner = CampaignRunner::new(&self.population, &self.response);
 
         // --- 2. training campaigns ---------------------------------------
-        // Feature rows are captured through the score hook, which runs
+        // Feature rows are captured through the contact hook, which runs
         // *before* the response is drawn and fed back — capturing them
         // afterwards would leak the label through the reward/punish
-        // update of the very outcome being predicted.
+        // update of the very outcome being predicted. Contacts fan out
+        // across threads (`parallel` feature); rows come back in
+        // contact order, so the training set is thread-count-invariant.
         let feature_dim = spa.schema().len() + 4;
         let mut training = Dataset::new(feature_dim);
         for t in 0..self.config.n_training_campaigns {
             let spec = self.campaign_spec(t, 1000);
             let appeal = spec.course.appeal.clone();
-            let rows = std::cell::RefCell::new(Vec::new());
-            let outcome = runner.run(
-                &spa,
-                &spec,
-                |spa, user, message| {
-                    rows.borrow_mut().push(self.featurize(spa, user, &appeal, message));
-                    f64::NAN
-                },
-                |_, _, _| {},
-            )?;
-            for (row, contact) in rows.into_inner().iter().zip(outcome.contacts.iter()) {
+            let (outcome, rows) = runner.run_collect(&spa, &spec, |spa, user, message| {
+                (f64::NAN, self.featurize(spa, user, &appeal, message))
+            })?;
+            for (row, contact) in rows.iter().zip(outcome.contacts.iter()) {
                 training.push(row, if contact.responded { 1.0 } else { -1.0 })?;
             }
         }
@@ -385,14 +377,14 @@ impl Experiment {
         for number in 0..self.config.n_eval_campaigns {
             let spec = self.campaign_spec(number, 2000);
             let appeal = spec.course.appeal.clone();
-            let outcome = runner.run(
-                &spa,
-                &spec,
-                |spa, user, message| {
-                    selection.score(&self.featurize(spa, user, &appeal, message)).unwrap_or(0.0)
-                },
-                |_, _, _| {},
-            )?;
+            // Parallel target scoring: each contact featurizes and
+            // scores its user independently (chunked over the sharded
+            // SumRegistry), so the 42%-of-population scoring sweep —
+            // the paper's 1.34M-users-per-push workload — uses every
+            // core while staying deterministic.
+            let (outcome, _) = runner.run_collect(&spa, &spec, |spa, user, message| {
+                (selection.score(&self.featurize(spa, user, &appeal, message)).unwrap_or(0.0), ())
+            })?;
             // Pool *within-campaign percentile ranks*, not raw margins:
             // "X% of commercial action" (Fig 6a) means contacting the
             // top-X% of each campaign's own ranking, so the aggregate
@@ -413,17 +405,12 @@ impl Experiment {
             for (i, contact) in outcome.contacts.iter().enumerate() {
                 all_labels.push(if contact.responded { 1.0 } else { -1.0 });
                 all_scores.push(percentile[i]);
-                let latent =
-                    self.population.user(contact.user).expect("contact users exist");
+                let latent = self.population.user(contact.user).expect("contact users exist");
                 baseline_expectation += self.response.probability(latent, None);
             }
-            let campaign_labels: Vec<f64> = outcome
-                .contacts
-                .iter()
-                .map(|c| if c.responded { 1.0 } else { -1.0 })
-                .collect();
-            let campaign_scores: Vec<f64> =
-                outcome.contacts.iter().map(|c| c.score).collect();
+            let campaign_labels: Vec<f64> =
+                outcome.contacts.iter().map(|c| if c.responded { 1.0 } else { -1.0 }).collect();
+            let campaign_scores: Vec<f64> = outcome.contacts.iter().map(|c| c.score).collect();
             campaigns.push(CampaignReport {
                 number: number + 1,
                 channel: outcome.channel,
@@ -446,10 +433,7 @@ impl Experiment {
             if total_targets == 0 { 0.0 } else { baseline_expectation / total_targets as f64 };
         let gains = metrics::gains_curve(&all_labels, &all_scores, 100)?;
         let result = ExperimentResult {
-            mean_predictive_score: campaigns
-                .iter()
-                .map(|c| c.predictive_score)
-                .sum::<f64>()
+            mean_predictive_score: campaigns.iter().map(|c| c.predictive_score).sum::<f64>()
                 / campaigns.len() as f64,
             campaigns,
             total_targets,
@@ -490,16 +474,10 @@ mod tests {
 
     #[test]
     fn experiment_validates_config() {
-        assert!(Experiment::new(ExperimentConfig {
-            n_eval_campaigns: 0,
-            ..small_config(false)
-        })
-        .is_err());
-        assert!(Experiment::new(ExperimentConfig {
-            target_fraction: 0.0,
-            ..small_config(false)
-        })
-        .is_err());
+        assert!(Experiment::new(ExperimentConfig { n_eval_campaigns: 0, ..small_config(false) })
+            .is_err());
+        assert!(Experiment::new(ExperimentConfig { target_fraction: 0.0, ..small_config(false) })
+            .is_err());
     }
 
     #[test]
@@ -542,10 +520,7 @@ mod tests {
             result.total_useful_impacts,
             result.campaigns.iter().map(|c| c.useful_impacts).sum::<usize>()
         );
-        assert_eq!(
-            result.total_targets,
-            result.campaigns.iter().map(|c| c.targets).sum::<usize>()
-        );
+        assert_eq!(result.total_targets, result.campaigns.iter().map(|c| c.targets).sum::<usize>());
         let last = result.gains.last().unwrap();
         assert!((last.captured - 1.0).abs() < 1e-9);
     }

@@ -115,11 +115,8 @@ impl Agent<SpaMessage> for AttributesManagerAgent {
     fn handle(&mut self, msg: SpaMessage, _ctx: &mut Context<SpaMessage>) {
         if let SpaMessage::ModelTouched(user) = msg {
             // recompute (and thereby validate) the dominant set
-            let _ = self.manager.dominant_sensibilities(
-                &self.registry,
-                user,
-                self.registry.config(),
-            );
+            let _ =
+                self.manager.dominant_sensibilities(&self.registry, user, self.registry.config());
             self.touched.push(user);
         }
     }

@@ -184,8 +184,7 @@ mod tests {
             m.apply_eit_answer(schema.emotional_ids()[3], 3, Valence::new(0.9), config).unwrap();
             m.apply_eit_answer(schema.emotional_ids()[8], 8, Valence::new(-0.9), config).unwrap();
         });
-        let sens =
-            manager.dominant_sensibilities(&registry, user, &SumConfig::default());
+        let sens = manager.dominant_sensibilities(&registry, user, &SumConfig::default());
         assert_eq!(sens.len(), 1);
         assert_eq!(sens[0].0, EmotionalAttribute::Hopeful);
         assert!(sens[0].1 > 0.9);

@@ -134,10 +134,7 @@ impl EitEngine {
     /// through branches as evidence accumulates. One call = one contact
     /// (§5.2's one-question-per-push rule).
     pub fn next_question(&self, registry: &SumRegistry, user: UserId) -> &EitQuestion {
-        let counts = registry
-            .get(user)
-            .map(|m| *m.eit_answer_counts())
-            .unwrap_or([0u32; 10]);
+        let counts = registry.get(user).map(|m| *m.eit_answer_counts()).unwrap_or([0u32; 10]);
         let target_ordinal = (0..10).min_by_key(|&i| (counts[i], i)).expect("ten attributes");
         let target = EMOTIONAL_ATTRIBUTES[target_ordinal];
         // rotate branch with the answer count so repeated probes of one
@@ -223,7 +220,11 @@ mod tests {
     use spa_types::{AttributeSchema, Timestamp, Valence};
 
     fn setup() -> (EitEngine, SumRegistry, AttributeSchema) {
-        (EitEngine::standard(), SumRegistry::new(75, SumConfig::default()), AttributeSchema::emagister())
+        (
+            EitEngine::standard(),
+            SumRegistry::new(75, SumConfig::default()),
+            AttributeSchema::emagister(),
+        )
     }
 
     #[test]

@@ -40,7 +40,11 @@ pub struct SpaConfig {
 
 impl Default for SpaConfig {
     fn default() -> Self {
-        Self { sum: SumConfig::default(), policy: MessagePolicy::MaxSensibility, positive_weight: 4.0 }
+        Self {
+            sum: SumConfig::default(),
+            policy: MessagePolicy::MaxSensibility,
+            positive_weight: 4.0,
+        }
     }
 }
 
@@ -162,6 +166,34 @@ impl Spa {
     /// Trains the selection function on labelled campaign history.
     pub fn train_selection(&mut self, data: &Dataset) -> Result<()> {
         self.selection.fit(data)
+    }
+
+    /// Batch propensity scoring: the advice-stage rows of `users`,
+    /// scored by the trained selection function, in input order.
+    ///
+    /// With the `parallel` feature (default) the work fans out across
+    /// threads — each worker reads its own slice of users from the
+    /// sharded [`SumRegistry`] (read locks only) — and results are
+    /// assembled in input order, so the output is identical at any
+    /// thread count. This is the paper-scale path: one campaign scores
+    /// millions of users through exactly this call.
+    pub fn score_users(&self, users: &[UserId]) -> Result<Vec<(UserId, f64)>> {
+        #[cfg(feature = "parallel")]
+        {
+            if users.len() >= spa_ml::PARALLEL_BATCH_THRESHOLD && rayon::current_num_threads() > 1 {
+                use rayon::prelude::*;
+                let scored: Vec<Result<(UserId, f64)>> =
+                    users.par_iter().map(|&user| self.score_user(user)).collect();
+                return scored.into_iter().collect();
+            }
+        }
+        users.iter().map(|&user| self.score_user(user)).collect()
+    }
+
+    /// Scores one user's advice-stage row with the selection function.
+    fn score_user(&self, user: UserId) -> Result<(UserId, f64)> {
+        let row = self.advice_row(user)?;
+        Ok((user, self.selection.score(&row)?))
     }
 
     /// Incrementally folds one observed outcome into the selection
@@ -288,6 +320,40 @@ mod tests {
     }
 
     #[test]
+    fn score_users_matches_single_scoring_in_input_order() {
+        let mut spa = platform();
+        let users: Vec<UserId> = (0..30).map(UserId::new).collect();
+        for (i, &user) in users.iter().enumerate() {
+            let q = spa.next_eit_question(user);
+            spa.ingest(&LifeLogEvent::new(
+                user,
+                Timestamp::from_millis(i as u64),
+                EventKind::EitAnswer {
+                    question: q.id,
+                    answer: Valence::new((i as f64 / 30.0) * 2.0 - 1.0),
+                },
+            ))
+            .unwrap();
+        }
+        let mut data = Dataset::new(75);
+        for &user in &users {
+            let row = spa.advice_row(user).unwrap();
+            data.push(&row, if row.get(65) > 0.5 { 1.0 } else { -1.0 }).unwrap();
+        }
+        spa.train_selection(&data).unwrap();
+        let batch = spa.score_users(&users).unwrap();
+        assert_eq!(batch.len(), users.len());
+        for (i, &(user, score)) in batch.iter().enumerate() {
+            assert_eq!(user, users[i], "input order is preserved");
+            let single = spa.selection().score(&spa.advice_row(user).unwrap()).unwrap();
+            assert_eq!(score, single);
+        }
+        // unknown users score as empty rows, not errors
+        let unknown = spa.score_users(&[UserId::new(9999)]).unwrap();
+        assert_eq!(unknown.len(), 1);
+    }
+
+    #[test]
     fn observe_outcome_updates_incrementally() {
         let mut spa = platform();
         let user = UserId::new(20);
@@ -318,7 +384,10 @@ mod tests {
             .unwrap();
         }
         let msg = spa
-            .assign_message(user, &[EmotionalAttribute::Enthusiastic, EmotionalAttribute::Apathetic])
+            .assign_message(
+                user,
+                &[EmotionalAttribute::Enthusiastic, EmotionalAttribute::Apathetic],
+            )
             .unwrap();
         assert_eq!(msg.case, AssignmentCase::SingleAttribute);
         assert_eq!(msg.attribute, Some(EmotionalAttribute::Enthusiastic));
@@ -333,8 +402,13 @@ mod tests {
         // prime the attribute
         let hopeful_id = spa.schema().emotional_ids()[EmotionalAttribute::Hopeful.ordinal()];
         spa.registry().with_model(user, |m, config| {
-            m.apply_eit_answer(hopeful_id, EmotionalAttribute::Hopeful.ordinal(), Valence::NEUTRAL, config)
-                .unwrap();
+            m.apply_eit_answer(
+                hopeful_id,
+                EmotionalAttribute::Hopeful.ordinal(),
+                Valence::NEUTRAL,
+                config,
+            )
+            .unwrap();
         });
         let before = spa.registry().get(user).unwrap().value(hopeful_id);
         spa.ingest(&LifeLogEvent::new(

@@ -17,11 +17,11 @@
 
 use crate::eit::EitEngine;
 use crate::sum::SumRegistry;
+use parking_lot::RwLock;
 use spa_synth::catalog::CourseCatalog;
 use spa_types::{
     AttributeId, AttributeSchema, CampaignId, EventKind, LifeLogEvent, Result, UserId,
 };
-use parking_lot::RwLock;
 use std::collections::HashMap;
 
 /// Counters of what the pre-processor has seen.
@@ -61,8 +61,7 @@ const TOPIC_SLOT0: usize = 2;
 impl LifeLogPreprocessor {
     /// Creates a pre-processor for a schema and course catalog.
     pub fn new(schema: AttributeSchema, courses: &CourseCatalog) -> Self {
-        let course_topic =
-            courses.courses().map(|c| (c.id.raw(), c.topic)).collect();
+        let course_topic = courses.courses().map(|c| (c.id.raw(), c.topic)).collect();
         Self {
             schema,
             course_topic,
@@ -263,7 +262,11 @@ mod tests {
         pre.ingest(
             &registry,
             &eit,
-            &LifeLogEvent::new(user, at(0), EventKind::EitAnswer { question: q, answer: Valence::new(0.5) }),
+            &LifeLogEvent::new(
+                user,
+                at(0),
+                EventKind::EitAnswer { question: q, answer: Valence::new(0.5) },
+            ),
         )
         .unwrap();
         pre.ingest(
@@ -308,7 +311,11 @@ mod tests {
         pre.ingest(
             &registry,
             &eit,
-            &LifeLogEvent::new(user, at(0), EventKind::MessageOpened { campaign: CampaignId::new(99) }),
+            &LifeLogEvent::new(
+                user,
+                at(0),
+                EventKind::MessageOpened { campaign: CampaignId::new(99) },
+            ),
         )
         .unwrap();
         assert_eq!(pre.stats().opens, 1);
@@ -338,14 +345,22 @@ mod tests {
         pre.ingest(
             &registry,
             &eit,
-            &LifeLogEvent::new(user, at(0), EventKind::Rating { course: CourseId::new(2), stars: 5 }),
+            &LifeLogEvent::new(
+                user,
+                at(0),
+                EventKind::Rating { course: CourseId::new(2), stars: 5 },
+            ),
         )
         .unwrap();
         assert!(registry.get(user).unwrap().value(AttributeId::new(41)) > 0.0);
         pre.ingest(
             &registry,
             &eit,
-            &LifeLogEvent::new(user, at(1), EventKind::Rating { course: CourseId::new(2), stars: 2 }),
+            &LifeLogEvent::new(
+                user,
+                at(1),
+                EventKind::Rating { course: CourseId::new(2), stars: 2 },
+            ),
         )
         .unwrap();
         // low rating does not add transactional mass beyond prior state

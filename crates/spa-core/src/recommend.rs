@@ -82,8 +82,10 @@ impl RecommendationFunction {
             if data.positives() == 0 || data.positives() == data.len() {
                 continue;
             }
-            let mut model =
-                LogisticRegression::new(dim, LogRegConfig { epochs: 3, seed, ..Default::default() });
+            let mut model = LogisticRegression::new(
+                dim,
+                LogRegConfig { epochs: 3, seed, ..Default::default() },
+            );
             model.fit(&data)?;
             family_models.insert(kind, model);
         }
@@ -180,7 +182,8 @@ mod tests {
         let (best_b, _) = rec.best_action(&browser).unwrap();
         // Browse actions have tiny per-action popularity (many of them),
         // so compare at the family-probability level instead:
-        let enroll_score = rec.score_action(&browser, catalog.actions_of(ActionKind::Enroll)[0]).unwrap();
+        let enroll_score =
+            rec.score_action(&browser, catalog.actions_of(ActionKind::Enroll)[0]).unwrap();
         let browse_score = rec.score_action(&browser, best_b).unwrap();
         assert!(browse_score > 0.0 && enroll_score >= 0.0);
     }

@@ -10,8 +10,10 @@
 //! score; the campaign engine then contacts the top slice, which is
 //! exactly what the cumulative-redemption curve of Fig 6(a) measures.
 
-use spa_linalg::SparseVec;
+use spa_linalg::{RowView, SparseVec};
 use spa_ml::svm::{LinearSvm, SvmConfig};
+#[cfg(feature = "parallel")]
+use spa_ml::PARALLEL_BATCH_THRESHOLD;
 use spa_ml::{Classifier, Dataset, OnlineLearner};
 use spa_types::{Result, SpaError, UserId};
 
@@ -30,10 +32,7 @@ impl SelectionFunction {
     /// Default hyper-parameters tuned for imbalanced campaign labels:
     /// positives are up-weighted by the given factor.
     pub fn with_imbalance(dim: usize, positive_weight: f64) -> Self {
-        Self::new(
-            dim,
-            SvmConfig { positive_weight, epochs: 6, lambda: 1e-4, ..Default::default() },
-        )
+        Self::new(dim, SvmConfig { positive_weight, epochs: 6, lambda: 1e-4, ..Default::default() })
     }
 
     /// Trains on labelled history (`+1` = responded).
@@ -62,17 +61,47 @@ impl SelectionFunction {
         self.svm.decision_function(features)
     }
 
+    /// Propensity score of one borrowed feature row (zero-copy).
+    pub fn score_view(&self, features: RowView<'_>) -> Result<f64> {
+        self.svm.decision_view(features)
+    }
+
+    /// Propensity scores for every row of a dataset, in row order —
+    /// zero-copy per row and parallel with the `parallel` feature
+    /// (bit-identical to the serial path at any thread count).
+    pub fn score_batch(&self, data: &Dataset) -> Result<Vec<f64>> {
+        self.svm.decision_batch(data)
+    }
+
     /// Ranks an audience by propensity, descending. Ties break by user
-    /// id for determinism.
+    /// id for determinism. Scoring fans out across threads for large
+    /// audiences (`parallel` feature); the ranking is identical to the
+    /// serial evaluation because scores are assembled in input order
+    /// before the sort.
     pub fn rank(&self, audience: &[(UserId, SparseVec)]) -> Result<Vec<(UserId, f64)>> {
-        let mut scored = Vec::with_capacity(audience.len());
-        for (user, features) in audience {
-            scored.push((*user, self.score(features)?));
-        }
+        let mut scored = self.score_audience(audience)?;
         scored.sort_by(|a, b| {
             b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
         Ok(scored)
+    }
+
+    /// Scores an audience in input order (the parallel fan-out under
+    /// [`Self::rank`]).
+    fn score_audience(&self, audience: &[(UserId, SparseVec)]) -> Result<Vec<(UserId, f64)>> {
+        #[cfg(feature = "parallel")]
+        {
+            if audience.len() >= PARALLEL_BATCH_THRESHOLD && rayon::current_num_threads() > 1 {
+                use rayon::prelude::*;
+                let scored: Vec<Result<(UserId, f64)>> = audience
+                    .par_iter()
+                    .map(|(user, features)| Ok((*user, self.score(features)?)))
+                    .with_min_len(512)
+                    .collect();
+                return scored.into_iter().collect();
+            }
+        }
+        audience.iter().map(|(user, features)| Ok((*user, self.score(features)?))).collect()
     }
 
     /// The top `fraction` of the ranked audience — the users the
@@ -176,6 +205,19 @@ mod tests {
         let hot = SparseVec::from_pairs(5, [(0u32, 0.9)]).unwrap();
         let cold = SparseVec::from_pairs(5, [(0u32, 0.1)]).unwrap();
         assert!(sel.score(&hot).unwrap() > sel.score(&cold).unwrap());
+    }
+
+    #[test]
+    fn score_batch_matches_single_scoring() {
+        let mut sel = SelectionFunction::with_imbalance(5, 4.0);
+        let d = history(600, 9);
+        sel.fit(&d).unwrap();
+        let batch = sel.score_batch(&d).unwrap();
+        assert_eq!(batch.len(), d.len());
+        for (r, &score) in batch.iter().enumerate() {
+            assert_eq!(score, sel.score_view(d.x.row(r)).unwrap());
+            assert_eq!(score, sel.score(&d.x.row_vec(r)).unwrap());
+        }
     }
 
     #[test]

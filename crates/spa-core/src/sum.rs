@@ -72,7 +72,13 @@ pub struct SmartUserModel {
 impl SmartUserModel {
     /// Fresh, empty model for a 75-attribute schema (or any `dim`).
     pub fn new(user: UserId, dim: usize) -> Self {
-        Self { user, values: vec![0.0; dim], relevance: vec![0.0; dim], eit_answers: [0; 10], updates: 0 }
+        Self {
+            user,
+            values: vec![0.0; dim],
+            relevance: vec![0.0; dim],
+            eit_answers: [0; 10],
+            updates: 0,
+        }
     }
 
     /// Attribute dimensionality.
@@ -122,7 +128,12 @@ impl SmartUserModel {
 
     /// Folds in a noisy observation of a subjective attribute (running
     /// exponential average, growing relevance).
-    pub fn observe_subjective(&mut self, attr: AttributeId, value: f64, config: &SumConfig) -> Result<()> {
+    pub fn observe_subjective(
+        &mut self,
+        attr: AttributeId,
+        value: f64,
+        config: &SumConfig,
+    ) -> Result<()> {
         self.check(attr)?;
         let i = attr.index();
         let blend = 0.3;
@@ -270,11 +281,7 @@ const SHARDS: usize = 32;
 impl SumRegistry {
     /// Creates an empty registry for `dim`-attribute models.
     pub fn new(dim: usize, config: SumConfig) -> Self {
-        Self {
-            dim,
-            config,
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-        }
+        Self { dim, config, shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect() }
     }
 
     /// The update-rule configuration.
@@ -307,10 +314,13 @@ impl SumRegistry {
     }
 
     /// Applies `f` to the model for `user`, creating it when absent.
-    pub fn with_model<T>(&self, user: UserId, f: impl FnOnce(&mut SmartUserModel, &SumConfig) -> T) -> T {
+    pub fn with_model<T>(
+        &self,
+        user: UserId,
+        f: impl FnOnce(&mut SmartUserModel, &SumConfig) -> T,
+    ) -> T {
         let mut shard = self.shard(user).write();
-        let model =
-            shard.entry(user.raw()).or_insert_with(|| SmartUserModel::new(user, self.dim));
+        let model = shard.entry(user.raw()).or_insert_with(|| SmartUserModel::new(user, self.dim));
         f(model, &self.config)
     }
 

@@ -15,7 +15,7 @@
 //! refreshed from the model in real time, and a coherence score in
 //! `[-1, 1]` comparing the scale against the observed action stream.
 
-use crate::sum::{SumConfig, SumRegistry};
+use crate::sum::SumRegistry;
 use spa_types::{
     AttributeSchema, EmotionalAttribute, Result, SpaError, UserId, EMOTIONAL_ATTRIBUTES,
 };
@@ -113,6 +113,7 @@ impl HumanValuesScale {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sum::SumConfig;
     use spa_types::Valence;
 
     fn registry_with_user(strengths: &[(usize, f64)]) -> (SumRegistry, AttributeSchema, UserId) {
@@ -133,8 +134,7 @@ mod tests {
 
     #[test]
     fn scale_orders_by_weighted_strength() {
-        let (registry, schema, user) =
-            registry_with_user(&[(0, 0.9), (3, 0.2), (7, -0.8)]);
+        let (registry, schema, user) = registry_with_user(&[(0, 0.9), (3, 0.2), (7, -0.8)]);
         let scale = HumanValuesScale::from_registry(&registry, &schema, user).unwrap();
         assert_eq!(scale.ranks().len(), 10, "every value appears on the scale");
         assert_eq!(scale.top().unwrap().value, EmotionalAttribute::Enthusiastic);
@@ -185,8 +185,7 @@ mod tests {
 
     #[test]
     fn coherence_is_negative_when_actions_invert_the_scale() {
-        let (registry, schema, user) =
-            registry_with_user(&[(0, 0.9), (1, 0.6), (2, 0.3)]);
+        let (registry, schema, user) = registry_with_user(&[(0, 0.9), (1, 0.6), (2, 0.3)]);
         let scale = HumanValuesScale::from_registry(&registry, &schema, user).unwrap();
         let mut engagement = [0.0; 10];
         for rung in scale.ranks() {

@@ -15,9 +15,11 @@
 
 pub mod dense;
 pub mod matrix;
+pub mod row;
 pub mod similarity;
 pub mod sparse;
 pub mod stats;
 
 pub use matrix::{CsrMatrix, DenseMatrix};
+pub use row::{RowView, SparseRow};
 pub use sparse::SparseVec;

@@ -1,5 +1,6 @@
 //! Dense and CSR sparse matrices.
 
+use crate::row::{RowView, SparseRow};
 use crate::sparse::SparseVec;
 use spa_types::{Result, SpaError};
 
@@ -105,6 +106,19 @@ impl CsrMatrix {
         Ok(())
     }
 
+    /// Appends a borrowed row view directly — two slice memcpys into
+    /// the shared buffers, no intermediate `SparseVec` or pair vector.
+    /// The view must share this matrix's column count.
+    pub fn push_row_view(&mut self, row: RowView<'_>) -> Result<()> {
+        if row.dim() != self.cols {
+            return Err(SpaError::DimensionMismatch { got: row.dim(), expected: self.cols });
+        }
+        self.indices.extend_from_slice(row.indices());
+        self.values.extend_from_slice(row.values());
+        self.indptr.push(self.indices.len());
+        Ok(())
+    }
+
     /// Appends a row directly from `(index, value)` pairs, which must be
     /// sorted by index with no duplicates or zeros (not re-verified in
     /// release builds — use [`SparseVec`] if the input is untrusted).
@@ -143,41 +157,36 @@ impl CsrMatrix {
         }
     }
 
-    /// Borrowed view of row `r` as `(indices, values)`.
-    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+    /// Zero-copy borrowed view of row `r` — no allocation; the view
+    /// points straight into the shared CSR buffers. This is the hot
+    /// path every batch scorer uses.
+    #[inline]
+    pub fn row(&self, r: usize) -> RowView<'_> {
         let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
-        (&self.indices[lo..hi], &self.values[lo..hi])
+        RowView::new(self.cols, &self.indices[lo..hi], &self.values[lo..hi])
     }
 
-    /// Copies row `r` into an owned [`SparseVec`].
+    /// Copies row `r` into an owned [`SparseVec`] (for callers that
+    /// need ownership; scoring paths should use [`Self::row`]).
     pub fn row_vec(&self, r: usize) -> SparseVec {
-        let (idx, val) = self.row(r);
-        SparseVec::from_pairs(self.cols, idx.iter().copied().zip(val.iter().copied()))
-            .expect("stored rows are valid")
+        self.row(r).to_owned_vec()
     }
 
     /// Dot product of row `r` with a dense vector.
+    #[inline]
     pub fn row_dot_dense(&self, r: usize, dense: &[f64]) -> f64 {
-        debug_assert_eq!(dense.len(), self.cols);
-        let (idx, val) = self.row(r);
-        idx.iter().zip(val.iter()).map(|(&i, &v)| v * dense[i as usize]).sum()
+        self.row(r).dot_dense(dense)
     }
 
     /// `dense += alpha * row_r` (sparse axpy on a stored row).
+    #[inline]
     pub fn row_add_scaled_into(&self, r: usize, alpha: f64, dense: &mut [f64]) {
-        debug_assert_eq!(dense.len(), self.cols);
-        let (idx, val) = self.row(r);
-        for (&i, &v) in idx.iter().zip(val.iter()) {
-            dense[i as usize] += alpha * v;
-        }
+        self.row(r).add_scaled_into(alpha, dense)
     }
 
-    /// Iterates over `(row_index, indices, values)` triples.
-    pub fn iter_rows(&self) -> impl Iterator<Item = (usize, &[u32], &[f64])> {
-        (0..self.rows()).map(move |r| {
-            let (i, v) = self.row(r);
-            (r, i, v)
-        })
+    /// Iterates over `(row_index, row_view)` pairs.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (usize, RowView<'_>)> {
+        (0..self.rows()).map(move |r| (r, self.row(r)))
     }
 
     /// Column L2 norms (used by scalers and feature selection).
@@ -238,8 +247,9 @@ mod tests {
         assert_eq!(m.rows(), 3);
         assert_eq!(m.cols(), 4);
         assert_eq!(m.nnz(), 3);
-        assert_eq!(m.row(0), (&[0u32, 2][..], &[1.0, 2.0][..]));
-        assert_eq!(m.row(2), (&[][..], &[][..]));
+        assert_eq!(m.row(0), RowView::new(4, &[0u32, 2], &[1.0, 2.0]));
+        assert_eq!(m.row(2), RowView::empty(4));
+        assert_eq!(m.row(0).nnz(), 2, "row views borrow, not copy");
     }
 
     #[test]
@@ -294,7 +304,22 @@ mod tests {
     #[test]
     fn csr_iter_rows_covers_all() {
         let m = sample();
-        let collected: Vec<usize> = m.iter_rows().map(|(r, _, _)| r).collect();
+        let collected: Vec<usize> = m.iter_rows().map(|(r, _)| r).collect();
         assert_eq!(collected, vec![0, 1, 2]);
+        let nnz: usize = m.iter_rows().map(|(_, row)| row.nnz()).sum();
+        assert_eq!(nnz, m.nnz());
+    }
+
+    #[test]
+    fn csr_push_row_view_matches_push_row() {
+        let m = sample();
+        let mut a = CsrMatrix::new(4);
+        let mut b = CsrMatrix::new(4);
+        for r in 0..m.rows() {
+            a.push_row_view(m.row(r)).unwrap();
+            b.push_row(&m.row_vec(r)).unwrap();
+        }
+        assert_eq!(a, b);
+        assert!(a.push_row_view(RowView::empty(3)).is_err(), "wrong dimension");
     }
 }

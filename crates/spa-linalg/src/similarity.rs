@@ -4,10 +4,11 @@
 //! item-kNN) that the emotional pipeline is compared against in the
 //! ablation experiment (E7).
 
-use crate::sparse::SparseVec;
+use crate::row::SparseRow;
 
-/// Cosine similarity; 0 when either vector is zero.
-pub fn cosine(a: &SparseVec, b: &SparseVec) -> f64 {
+/// Cosine similarity; 0 when either vector is zero. Accepts any mix of
+/// owned [`crate::SparseVec`]s and borrowed [`crate::RowView`]s.
+pub fn cosine<A: SparseRow + ?Sized, B: SparseRow + ?Sized>(a: &A, b: &B) -> f64 {
     let (na, nb) = (a.norm2(), b.norm2());
     if na == 0.0 || nb == 0.0 {
         0.0
@@ -18,7 +19,7 @@ pub fn cosine(a: &SparseVec, b: &SparseVec) -> f64 {
 
 /// Pearson correlation computed over the *union* of stored indices
 /// (absent entries are zeros). Returns 0 when either side is constant.
-pub fn pearson(a: &SparseVec, b: &SparseVec) -> f64 {
+pub fn pearson<A: SparseRow + ?Sized, B: SparseRow + ?Sized>(a: &A, b: &B) -> f64 {
     debug_assert_eq!(a.dim(), b.dim());
     let n = a.dim() as f64;
     if n == 0.0 {
@@ -42,7 +43,7 @@ pub fn pearson(a: &SparseVec, b: &SparseVec) -> f64 {
 }
 
 /// Jaccard similarity of the supports (which coordinates are non-zero).
-pub fn jaccard(a: &SparseVec, b: &SparseVec) -> f64 {
+pub fn jaccard<A: SparseRow + ?Sized, B: SparseRow + ?Sized>(a: &A, b: &B) -> f64 {
     let (mut i, mut j) = (0usize, 0usize);
     let (ia, ib) = (a.indices(), b.indices());
     let mut inter = 0usize;
@@ -68,6 +69,7 @@ pub fn jaccard(a: &SparseVec, b: &SparseVec) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sparse::SparseVec;
     use proptest::prelude::*;
 
     fn sv(dim: usize, pairs: &[(u32, f64)]) -> SparseVec {

@@ -5,6 +5,7 @@
 //! that makes dot products a linear merge and keeps per-entry overhead at
 //! 12 bytes. Explicit zeros are never stored.
 
+use crate::row::{RowView, SparseRow};
 use spa_types::{Result, SpaError};
 
 /// Sparse vector with sorted indices and no explicit zeros.
@@ -13,6 +14,23 @@ pub struct SparseVec {
     dim: usize,
     indices: Vec<u32>,
     values: Vec<f64>,
+}
+
+impl SparseRow for SparseVec {
+    #[inline]
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    #[inline]
+    fn values(&self) -> &[f64] {
+        &self.values
+    }
 }
 
 impl SparseVec {
@@ -26,8 +44,7 @@ impl SparseVec {
     /// Zero values are dropped; duplicate indices and out-of-range
     /// indices are rejected.
     pub fn from_pairs(dim: usize, pairs: impl IntoIterator<Item = (u32, f64)>) -> Result<Self> {
-        let mut entries: Vec<(u32, f64)> =
-            pairs.into_iter().filter(|&(_, v)| v != 0.0).collect();
+        let mut entries: Vec<(u32, f64)> = pairs.into_iter().filter(|&(_, v)| v != 0.0).collect();
         entries.sort_unstable_by_key(|&(i, _)| i);
         let mut indices = Vec::with_capacity(entries.len());
         let mut values = Vec::with_capacity(entries.len());
@@ -45,6 +62,23 @@ impl SparseVec {
             values.push(v);
         }
         Ok(Self { dim, indices, values })
+    }
+
+    /// Builds from pre-sorted, pre-validated parallel buffers without
+    /// re-checking invariants (checked in debug builds). Producers that
+    /// already hold sorted unique in-range indices — CSR rows, row
+    /// views — use this to skip [`Self::from_pairs`]' re-validation.
+    pub fn from_sorted_unchecked(dim: usize, indices: Vec<u32>, values: Vec<f64>) -> Self {
+        debug_assert_eq!(indices.len(), values.len());
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]), "indices must be sorted unique");
+        debug_assert!(indices.last().is_none_or(|&i| (i as usize) < dim));
+        Self { dim, indices, values }
+    }
+
+    /// Reborrows as a zero-copy [`RowView`].
+    #[inline]
+    pub fn view(&self) -> RowView<'_> {
+        RowView::new(self.dim, &self.indices, &self.values)
     }
 
     /// Builds from a dense slice, dropping zeros.
@@ -147,21 +181,9 @@ impl SparseVec {
     }
 
     /// Sparse·sparse dot product (linear merge over stored entries).
-    pub fn dot(&self, other: &SparseVec) -> f64 {
-        debug_assert_eq!(self.dim, other.dim, "sparse dot: dimension mismatch");
-        let (mut i, mut j, mut acc) = (0usize, 0usize, 0.0f64);
-        while i < self.indices.len() && j < other.indices.len() {
-            match self.indices[i].cmp(&other.indices[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    acc += self.values[i] * other.values[j];
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        acc
+    /// Accepts any [`SparseRow`] — an owned vector or a borrowed view.
+    pub fn dot<R: SparseRow + ?Sized>(&self, other: &R) -> f64 {
+        SparseRow::dot(self, other)
     }
 
     /// Sparse·dense dot product.

@@ -38,25 +38,66 @@ pub struct FoldScore {
 /// held-out ROC-AUC of each fold.
 ///
 /// `make` builds a fresh untrained model per fold (so no state leaks
-/// across folds).
+/// across folds). With the `parallel` feature (default) the folds run
+/// concurrently; each fold is self-contained and deterministic, so the
+/// scores are identical to [`cross_validate_serial`] at any thread
+/// count.
 pub fn cross_validate<C, F>(data: &Dataset, k: usize, seed: u64, make: F) -> Result<Vec<FoldScore>>
+where
+    C: Classifier,
+    F: Fn() -> C + Sync,
+{
+    let folds = kfold_indices(data.len(), k, seed)?;
+    #[cfg(feature = "parallel")]
+    {
+        if rayon::current_num_threads() > 1 {
+            use rayon::prelude::*;
+            let scores: Vec<Result<FoldScore>> = (0..folds.len())
+                .into_par_iter()
+                .map(|fold| run_fold(data, &folds, fold, &make))
+                .collect();
+            return scores.into_iter().collect();
+        }
+    }
+    (0..folds.len()).map(|fold| run_fold(data, &folds, fold, &make)).collect()
+}
+
+/// The reference serial implementation of [`cross_validate`] (always
+/// available, for differential testing).
+pub fn cross_validate_serial<C, F>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    make: F,
+) -> Result<Vec<FoldScore>>
 where
     C: Classifier,
     F: Fn() -> C,
 {
     let folds = kfold_indices(data.len(), k, seed)?;
-    let mut out = Vec::with_capacity(k);
-    for (fold, test_rows) in folds.iter().enumerate() {
-        let train_rows: Vec<usize> =
-            folds.iter().enumerate().filter(|&(f, _)| f != fold).flat_map(|(_, r)| r.iter().copied()).collect();
-        let train = data.subset(&train_rows);
-        let test = data.subset(test_rows);
-        let mut model = make();
-        model.fit(&train)?;
-        let scores = model.decision_batch(&test)?;
-        out.push(FoldScore { fold, auc: roc_auc(&test.y, &scores)? });
-    }
-    Ok(out)
+    (0..folds.len()).map(|fold| run_fold(data, &folds, fold, &make)).collect()
+}
+
+/// Trains and evaluates one fold (everything per-fold is local, so
+/// folds can run on any thread).
+fn run_fold<C: Classifier>(
+    data: &Dataset,
+    folds: &[Vec<usize>],
+    fold: usize,
+    make: &impl Fn() -> C,
+) -> Result<FoldScore> {
+    let train_rows: Vec<usize> = folds
+        .iter()
+        .enumerate()
+        .filter(|&(f, _)| f != fold)
+        .flat_map(|(_, r)| r.iter().copied())
+        .collect();
+    let train = data.subset(&train_rows);
+    let test = data.subset(&folds[fold]);
+    let mut model = make();
+    model.fit(&train)?;
+    let scores = model.decision_batch_serial(&test)?;
+    Ok(FoldScore { fold, auc: roc_auc(&test.y, &scores)? })
 }
 
 /// Mean AUC across folds.

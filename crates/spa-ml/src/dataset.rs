@@ -72,14 +72,12 @@ impl Dataset {
         }
     }
 
-    /// Subset by row indices (rows are copied).
+    /// Subset by row indices (rows are copied into the new dataset's
+    /// CSR buffers directly — no per-row temporaries).
     pub fn subset(&self, rows: &[usize]) -> Dataset {
         let mut d = Dataset::new(self.cols());
         for &r in rows {
-            let (idx, val) = self.x.row(r);
-            let pairs: Vec<(u32, f64)> =
-                idx.iter().copied().zip(val.iter().copied()).collect();
-            d.x.push_row_raw(&pairs);
+            d.x.push_row_view(self.x.row(r)).expect("same column count");
             d.y.push(self.y[r]);
         }
         d

@@ -9,7 +9,7 @@
 //! sparse user×attribute matrix the downstream learners consume.
 
 use crate::svm::LinearSvm;
-use spa_linalg::{CsrMatrix, SparseVec};
+use spa_linalg::{CsrMatrix, SparseRow, SparseVec};
 use spa_types::{Result, SpaError};
 
 /// A fitted feature mask: the indices retained after selection.
@@ -84,22 +84,32 @@ impl FeatureMask {
     }
 
     /// Projects a sparse row into the reduced space (dimension becomes
-    /// `len()`, retained coordinates are renumbered densely).
-    pub fn project(&self, x: &SparseVec) -> Result<SparseVec> {
+    /// `len()`, retained coordinates are renumbered densely). Accepts
+    /// owned vectors or borrowed [`spa_linalg::RowView`]s.
+    pub fn project<R: SparseRow + ?Sized>(&self, x: &R) -> Result<SparseVec> {
         if x.dim() != self.dim {
             return Err(SpaError::DimensionMismatch { got: x.dim(), expected: self.dim });
         }
-        let pairs = x.iter().filter_map(|(i, v)| {
-            self.keep.binary_search(&i).ok().map(|new_i| (new_i as u32, v))
-        });
+        let pairs = SparseRow::iter(x)
+            .filter_map(|(i, v)| self.keep.binary_search(&i).ok().map(|new_i| (new_i as u32, v)));
         SparseVec::from_pairs(self.keep.len(), pairs)
     }
 
-    /// Projects a whole matrix.
+    /// Projects a whole matrix: walks borrowed row views and writes
+    /// renumbered pairs through one reused buffer — no intermediate
+    /// `SparseVec` per row.
     pub fn project_matrix(&self, x: &CsrMatrix) -> Result<CsrMatrix> {
+        if x.cols() != self.dim {
+            return Err(SpaError::DimensionMismatch { got: x.cols(), expected: self.dim });
+        }
         let mut out = CsrMatrix::new(self.keep.len());
-        for r in 0..x.rows() {
-            out.push_row(&self.project(&x.row_vec(r))?)?;
+        let mut buf: Vec<(u32, f64)> = Vec::new();
+        for (_, row) in x.iter_rows() {
+            buf.clear();
+            buf.extend(row.iter().filter_map(|(i, v)| {
+                self.keep.binary_search(&i).ok().map(|new_i| (new_i as u32, v))
+            }));
+            out.push_row_raw(&buf);
         }
         Ok(out)
     }

@@ -6,7 +6,7 @@
 //! over the user×item interaction matrix, plus raw popularity. These are
 //! the non-emotional comparators in the ablation study (E7).
 
-use spa_linalg::{similarity, CsrMatrix, SparseVec};
+use spa_linalg::{similarity, CsrMatrix, SparseRow, SparseVec};
 use spa_types::{Result, SpaError};
 
 /// Similarity measure for neighbourhood formation.
@@ -20,7 +20,7 @@ pub enum Similarity {
 }
 
 impl Similarity {
-    fn eval(self, a: &SparseVec, b: &SparseVec) -> f64 {
+    fn eval<A: SparseRow + ?Sized, B: SparseRow + ?Sized>(self, a: &A, b: &B) -> f64 {
         match self {
             Similarity::Cosine => similarity::cosine(a, b),
             Similarity::Pearson => similarity::pearson(a, b),
@@ -62,10 +62,12 @@ impl UserKnn {
         if user >= self.users() {
             return Err(SpaError::NotFound(format!("user row {user}")));
         }
-        let target = self.interactions.row_vec(user);
+        // Zero-copy: the target row and every candidate row are
+        // borrowed views into the CSR buffers — no clone per candidate.
+        let target = self.interactions.row(user);
         let mut sims: Vec<(usize, f64)> = (0..self.users())
             .filter(|&v| v != user)
-            .map(|v| (v, self.sim.eval(&target, &self.interactions.row_vec(v))))
+            .map(|v| (v, self.sim.eval(&target, &self.interactions.row(v))))
             .filter(|&(_, s)| s > 0.0)
             .collect();
         sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -82,7 +84,7 @@ impl UserKnn {
         let mut num = 0.0;
         let mut den = 0.0;
         for (v, s) in neigh {
-            let r = self.interactions.row_vec(v).get(item);
+            let r = self.interactions.row(v).get(item);
             num += s * r;
             den += s.abs();
         }
@@ -91,7 +93,7 @@ impl UserKnn {
 
     /// Top-`n` unseen items for `user`, ranked by predicted affinity.
     pub fn recommend(&self, user: usize, n: usize) -> Result<Vec<(u32, f64)>> {
-        let seen = self.interactions.row_vec(user);
+        let seen = self.interactions.row(user);
         let mut scored: Vec<(u32, f64)> = (0..self.items() as u32)
             .filter(|&i| seen.get(i) == 0.0)
             .map(|i| self.score(user, i).map(|s| (i, s)))
@@ -123,8 +125,8 @@ impl ItemKnn {
         // transpose: collect per-item (user, value) pairs
         let users = interactions.rows();
         let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); interactions.cols()];
-        for (r, idx, val) in interactions.iter_rows() {
-            for (&i, &v) in idx.iter().zip(val.iter()) {
+        for (r, row) in interactions.iter_rows() {
+            for (i, v) in row.iter() {
                 cols[i as usize].push((r as u32, v));
             }
         }
@@ -149,7 +151,7 @@ impl ItemKnn {
         if user >= self.interactions.rows() {
             return Err(SpaError::NotFound(format!("user row {user}")));
         }
-        let profile = self.interactions.row_vec(user);
+        let profile = self.interactions.row(user);
         let target = &self.item_vecs[item as usize];
         let mut sims: Vec<(f64, f64)> = profile
             .iter()
@@ -176,8 +178,8 @@ impl Popularity {
     /// Accumulates column sums of the interaction matrix.
     pub fn fit(interactions: &CsrMatrix) -> Self {
         let mut totals = vec![0.0; interactions.cols()];
-        for (_, idx, val) in interactions.iter_rows() {
-            for (&i, &v) in idx.iter().zip(val.iter()) {
+        for (_, row) in interactions.iter_rows() {
+            for (i, v) in row.iter() {
                 totals[i as usize] += v;
             }
         }

@@ -38,29 +38,77 @@ pub use logreg::LogisticRegression;
 pub use naive_bayes::BernoulliNb;
 pub use svm::LinearSvm;
 
-use spa_linalg::SparseVec;
+use spa_linalg::{RowView, SparseVec};
 use spa_types::Result;
+
+/// Row count below which batch scoring stays serial even with the
+/// `parallel` feature on (thread fan-out costs more than it saves).
+/// Shared by every batch-scoring gate in the workspace
+/// (`decision_batch`, `SelectionFunction::rank`, `Spa::score_users`)
+/// so the tuning lives in one place.
+pub const PARALLEL_BATCH_THRESHOLD: usize = 2048;
+
+/// Minimum rows per worker chunk for cheap per-row kernels: the
+/// vendored rayon spawns threads per call, so each worker must
+/// amortize its spawn over enough rows.
+#[cfg(feature = "parallel")]
+const PARALLEL_MIN_CHUNK: usize = 1024;
 
 /// A binary classifier with a real-valued decision function.
 ///
 /// Labels are `+1.0` / `-1.0`. The decision function must be monotone in
 /// the predicted probability of the positive class so that ranking by it
 /// is meaningful (this is what the paper's *selection function* does).
-pub trait Classifier {
+///
+/// Implementors provide [`Classifier::decision_view`], the zero-copy
+/// hot path: it scores a borrowed [`RowView`] so batch scoring never
+/// clones a row out of the CSR store. `Send + Sync` is a supertrait so
+/// batches can fan out across threads.
+pub trait Classifier: Send + Sync {
     /// Fits on a training set.
     fn fit(&mut self, data: &Dataset) -> Result<()>;
 
-    /// Signed score; positive means the positive class.
-    fn decision_function(&self, x: &SparseVec) -> Result<f64>;
+    /// Signed score of a borrowed row; positive means the positive
+    /// class. This is the allocation-free kernel everything else
+    /// (single scoring, batches, ranking) routes through.
+    fn decision_view(&self, x: RowView<'_>) -> Result<f64>;
+
+    /// Signed score of an owned sparse vector.
+    fn decision_function(&self, x: &SparseVec) -> Result<f64> {
+        self.decision_view(x.view())
+    }
 
     /// Hard label in `{-1.0, +1.0}`.
     fn predict(&self, x: &SparseVec) -> Result<f64> {
         Ok(if self.decision_function(x)? >= 0.0 { 1.0 } else { -1.0 })
     }
 
-    /// Decision scores for every row of a dataset.
+    /// Decision scores for every row of a dataset, in row order.
+    ///
+    /// Zero-copy per row, and — with the `parallel` feature (default) —
+    /// fanned out over threads in order-preserving chunks, so the
+    /// output is bit-identical to [`Classifier::decision_batch_serial`]
+    /// at every thread count.
     fn decision_batch(&self, data: &Dataset) -> Result<Vec<f64>> {
-        (0..data.len()).map(|r| self.decision_function(&data.x.row_vec(r))).collect()
+        #[cfg(feature = "parallel")]
+        {
+            if data.len() >= PARALLEL_BATCH_THRESHOLD && rayon::current_num_threads() > 1 {
+                use rayon::prelude::*;
+                let scores: Vec<Result<f64>> = (0..data.len())
+                    .into_par_iter()
+                    .map(|r| self.decision_view(data.x.row(r)))
+                    .with_min_len(PARALLEL_MIN_CHUNK)
+                    .collect();
+                return scores.into_iter().collect();
+            }
+        }
+        self.decision_batch_serial(data)
+    }
+
+    /// The reference serial implementation of [`Classifier::decision_batch`]
+    /// (always available, for differential testing).
+    fn decision_batch_serial(&self, data: &Dataset) -> Result<Vec<f64>> {
+        (0..data.len()).map(|r| self.decision_view(data.x.row(r))).collect()
     }
 }
 

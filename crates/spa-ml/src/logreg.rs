@@ -10,7 +10,7 @@ use crate::{Classifier, OnlineLearner};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use spa_linalg::dense::sigmoid;
-use spa_linalg::SparseVec;
+use spa_linalg::{RowView, SparseRow, SparseVec};
 use spa_types::{Result, SpaError};
 
 /// Hyper-parameters for [`LogisticRegression`].
@@ -68,14 +68,16 @@ impl LogisticRegression {
         Ok(sigmoid(self.decision_function(x)?))
     }
 
-    fn check_dim(&self, x: &SparseVec) -> Result<()> {
-        if x.dim() != self.weights.len() {
-            return Err(SpaError::DimensionMismatch { got: x.dim(), expected: self.weights.len() });
+    fn check_dim(&self, dim: usize) -> Result<()> {
+        if dim != self.weights.len() {
+            return Err(SpaError::DimensionMismatch { got: dim, expected: self.weights.len() });
         }
         Ok(())
     }
 
-    fn sgd_step(&mut self, x: &SparseVec, y01: f64) {
+    /// One SGD step on a borrowed row — the fit loop walks CSR row
+    /// views directly, so training allocates nothing per example.
+    fn sgd_step(&mut self, x: RowView<'_>, y01: f64) {
         self.t += 1;
         let eta = self.config.eta0 / (1.0 + self.t as f64 * self.config.lambda * self.config.eta0);
         let p = sigmoid(x.dot_dense(&self.weights) + self.bias);
@@ -103,31 +105,30 @@ impl Classifier for LogisticRegression {
         for _ in 0..self.config.epochs.max(1) {
             order.shuffle(&mut rng);
             for &r in &order {
-                let x = data.x.row_vec(r);
                 let y01 = if data.y[r] > 0.0 { 1.0 } else { 0.0 };
-                self.sgd_step(&x, y01);
+                self.sgd_step(data.x.row(r), y01);
             }
         }
         self.trained = true;
         Ok(())
     }
 
-    fn decision_function(&self, x: &SparseVec) -> Result<f64> {
+    fn decision_view(&self, x: RowView<'_>) -> Result<f64> {
         if !self.trained {
             return Err(SpaError::NotTrained);
         }
-        self.check_dim(x)?;
+        self.check_dim(x.dim())?;
         Ok(x.dot_dense(&self.weights) + self.bias)
     }
 }
 
 impl OnlineLearner for LogisticRegression {
     fn partial_fit(&mut self, x: &SparseVec, y: f64) -> Result<()> {
-        self.check_dim(x)?;
+        self.check_dim(x.dim())?;
         if y != 1.0 && y != -1.0 {
             return Err(SpaError::Invalid(format!("label must be ±1.0, got {y}")));
         }
-        self.sgd_step(x, if y > 0.0 { 1.0 } else { 0.0 });
+        self.sgd_step(x.view(), if y > 0.0 { 1.0 } else { 0.0 });
         self.trained = true;
         Ok(())
     }
@@ -155,9 +156,8 @@ mod tests {
         let d = blobs(500, 21);
         let mut lr = LogisticRegression::with_dim(2);
         lr.fit(&d).unwrap();
-        let acc = (0..d.len())
-            .filter(|&r| lr.predict(&d.x.row_vec(r)).unwrap() == d.y[r])
-            .count() as f64
+        let acc = (0..d.len()).filter(|&r| lr.predict(&d.x.row_vec(r)).unwrap() == d.y[r]).count()
+            as f64
             / d.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }

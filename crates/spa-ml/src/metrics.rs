@@ -102,9 +102,7 @@ pub fn roc_auc(y_true: &[f64], scores: &[f64]) -> Result<f64> {
     }
     // Rank scores ascending, averaging ranks over ties.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
     while i < order.len() {
@@ -118,12 +116,8 @@ pub fn roc_auc(y_true: &[f64], scores: &[f64]) -> Result<f64> {
         }
         i = j + 1;
     }
-    let rank_sum_pos: f64 = y_true
-        .iter()
-        .zip(ranks.iter())
-        .filter(|(&y, _)| y > 0.0)
-        .map(|(_, &r)| r)
-        .sum();
+    let rank_sum_pos: f64 =
+        y_true.iter().zip(ranks.iter()).filter(|(&y, _)| y > 0.0).map(|(_, &r)| r).sum();
     let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
     Ok(u / (n_pos as f64 * n_neg as f64))
 }
@@ -168,9 +162,7 @@ pub fn gains_curve(y_true: &[f64], scores: &[f64], points: usize) -> Result<Vec<
     let n = y_true.len();
     let total_pos = y_true.iter().filter(|&&y| y > 0.0).count();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
     // prefix positive counts over the ranked audience
     let mut prefix = vec![0usize; n + 1];
     for (rank, &i) in order.iter().enumerate() {
@@ -180,11 +172,8 @@ pub fn gains_curve(y_true: &[f64], scores: &[f64], points: usize) -> Result<Vec<
     for p in 0..=points {
         let effort = p as f64 / points as f64;
         let contacted = ((effort * n as f64).round() as usize).min(n);
-        let captured = if total_pos == 0 {
-            0.0
-        } else {
-            prefix[contacted] as f64 / total_pos as f64
-        };
+        let captured =
+            if total_pos == 0 { 0.0 } else { prefix[contacted] as f64 / total_pos as f64 };
         curve.push(GainsPoint { effort, captured });
     }
     Ok(curve)
@@ -247,9 +236,7 @@ pub fn predictive_score(y_true: &[f64], scores: &[f64], depth_fraction: f64) -> 
     }
     let k = ((n as f64 * depth_fraction).round() as usize).clamp(1, n);
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
     let hits = order[..k].iter().filter(|&&i| y_true[i] > 0.0).count();
     Ok(hits as f64 / k as f64)
 }
@@ -261,8 +248,8 @@ mod tests {
 
     #[test]
     fn confusion_counts() {
-        let c = Confusion::from_predictions(&[1.0, 1.0, -1.0, -1.0], &[1.0, -1.0, 1.0, -1.0])
-            .unwrap();
+        let c =
+            Confusion::from_predictions(&[1.0, 1.0, -1.0, -1.0], &[1.0, -1.0, 1.0, -1.0]).unwrap();
         assert_eq!((c.tp, c.fn_, c.fp, c.tn), (1, 1, 1, 1));
         assert_eq!(c.accuracy(), 0.5);
         assert_eq!(c.precision(), 0.5);

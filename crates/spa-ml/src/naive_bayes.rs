@@ -6,7 +6,7 @@
 
 use crate::dataset::Dataset;
 use crate::Classifier;
-use spa_linalg::SparseVec;
+use spa_linalg::RowView;
 use spa_types::{Result, SpaError};
 
 /// Bernoulli naive Bayes with Laplace smoothing.
@@ -20,6 +20,9 @@ pub struct BernoulliNb {
     /// Per-feature log P(x=1|y) and log P(x=0|y), for y ∈ {+, −}.
     log_p1: [Vec<f64>; 2],
     log_p0: [Vec<f64>; 2],
+    /// Σ_i log P(x_i=0|y), cached at fit time so scoring one row is
+    /// O(nnz) instead of O(dim).
+    log_p0_sum: [f64; 2],
     trained: bool,
 }
 
@@ -32,6 +35,7 @@ impl BernoulliNb {
             log_prior: [0.0; 2],
             log_p1: [vec![], vec![]],
             log_p0: [vec![], vec![]],
+            log_p0_sum: [0.0; 2],
             trained: false,
         }
     }
@@ -56,10 +60,10 @@ impl Classifier for BernoulliNb {
         }
         let mut class_counts = [0usize; 2];
         let mut feature_counts = [vec![0usize; self.dim], vec![0usize; self.dim]];
-        for (r, idx, val) in data.x.iter_rows() {
+        for (r, row) in data.x.iter_rows() {
             let c = if data.y[r] > 0.0 { 0 } else { 1 };
             class_counts[c] += 1;
-            for (&i, &v) in idx.iter().zip(val.iter()) {
+            for (i, v) in row.iter() {
                 if v != 0.0 {
                     feature_counts[c][i as usize] += 1;
                 }
@@ -69,36 +73,32 @@ impl Classifier for BernoulliNb {
         for c in 0..2 {
             // Smoothed prior so a class absent from training data keeps a
             // finite log-probability.
-            self.log_prior[c] = ((class_counts[c] as f64 + self.alpha)
-                / (n + 2.0 * self.alpha))
-                .ln();
+            self.log_prior[c] =
+                ((class_counts[c] as f64 + self.alpha) / (n + 2.0 * self.alpha)).ln();
             let denom = class_counts[c] as f64 + 2.0 * self.alpha;
-            self.log_p1[c] = feature_counts[c]
-                .iter()
-                .map(|&k| ((k as f64 + self.alpha) / denom).ln())
-                .collect();
+            self.log_p1[c] =
+                feature_counts[c].iter().map(|&k| ((k as f64 + self.alpha) / denom).ln()).collect();
             self.log_p0[c] = feature_counts[c]
                 .iter()
                 .map(|&k| ((class_counts[c] as f64 - k as f64 + self.alpha) / denom).ln())
                 .collect();
+            self.log_p0_sum[c] = self.log_p0[c].iter().sum();
         }
         self.trained = true;
         Ok(())
     }
 
-    fn decision_function(&self, x: &SparseVec) -> Result<f64> {
+    fn decision_view(&self, x: RowView<'_>) -> Result<f64> {
         if !self.trained {
             return Err(SpaError::NotTrained);
         }
         if x.dim() != self.dim {
             return Err(SpaError::DimensionMismatch { got: x.dim(), expected: self.dim });
         }
-        // Start from the all-zeros log-likelihood, then correct the
-        // non-zero coordinates — O(nnz) instead of O(dim).
-        let mut score = [self.log_prior[0], self.log_prior[1]];
-        for (c, s) in score.iter_mut().enumerate() {
-            *s += self.log_p0[c].iter().sum::<f64>();
-        }
+        // Start from the all-zeros log-likelihood (cached at fit time),
+        // then correct the non-zero coordinates — O(nnz), not O(dim).
+        let mut score =
+            [self.log_prior[0] + self.log_p0_sum[0], self.log_prior[1] + self.log_p0_sum[1]];
         for (i, v) in x.iter() {
             if v != 0.0 {
                 for (c, s) in score.iter_mut().enumerate() {
@@ -113,6 +113,7 @@ impl Classifier for BernoulliNb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spa_linalg::SparseVec;
 
     /// Positives carry feature 0, negatives feature 1.
     fn toy() -> Dataset {

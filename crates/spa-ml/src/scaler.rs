@@ -5,7 +5,7 @@
 //! value (the standard sparse-safe choice) and [`StdScaler`] divides by
 //! the column standard deviation computed around zero.
 
-use spa_linalg::{CsrMatrix, SparseVec};
+use spa_linalg::{CsrMatrix, SparseRow, SparseVec};
 use spa_types::{Result, SpaError};
 
 /// Scales each column into `[-1, 1]` by its max absolute value.
@@ -18,8 +18,8 @@ impl MaxAbsScaler {
     /// Learns per-column max-abs from a dataset.
     pub fn fit(x: &CsrMatrix) -> Self {
         let mut max_abs = vec![0.0f64; x.cols()];
-        for (_, idx, val) in x.iter_rows() {
-            for (&i, &v) in idx.iter().zip(val.iter()) {
+        for (_, row) in x.iter_rows() {
+            for (i, v) in row.iter() {
                 let a = v.abs();
                 if a > max_abs[i as usize] {
                     max_abs[i as usize] = a;
@@ -35,22 +35,34 @@ impl MaxAbsScaler {
         &self.scale
     }
 
-    /// Applies to one sparse row.
-    pub fn transform(&self, x: &SparseVec) -> Result<SparseVec> {
+    /// Applies to one sparse row (owned vector or borrowed view).
+    pub fn transform<R: SparseRow + ?Sized>(&self, x: &R) -> Result<SparseVec> {
         if x.dim() != self.scale.len() {
             return Err(SpaError::DimensionMismatch { got: x.dim(), expected: self.scale.len() });
         }
         SparseVec::from_pairs(
             x.dim(),
-            x.iter().map(|(i, v)| (i, v / self.scale[i as usize])),
+            SparseRow::iter(x).map(|(i, v)| (i, v / self.scale[i as usize])),
         )
     }
 
-    /// Applies to every row of a matrix.
+    /// Applies to every row of a matrix (zero-copy row walk, one reused
+    /// pair buffer).
     pub fn transform_matrix(&self, x: &CsrMatrix) -> Result<CsrMatrix> {
+        if x.cols() != self.scale.len() {
+            return Err(SpaError::DimensionMismatch { got: x.cols(), expected: self.scale.len() });
+        }
         let mut out = CsrMatrix::new(x.cols());
-        for r in 0..x.rows() {
-            out.push_row(&self.transform(&x.row_vec(r))?)?;
+        let mut buf: Vec<(u32, f64)> = Vec::new();
+        for (_, row) in x.iter_rows() {
+            buf.clear();
+            // The quotient of a tiny (subnormal) value can round to
+            // zero; drop it, as `SparseVec::from_pairs` would, to keep
+            // the no-explicit-zeros invariant.
+            buf.extend(
+                row.iter().map(|(i, v)| (i, v / self.scale[i as usize])).filter(|&(_, v)| v != 0.0),
+            );
+            out.push_row_raw(&buf);
         }
         Ok(out)
     }
@@ -67,8 +79,8 @@ impl StdScaler {
     pub fn fit(x: &CsrMatrix) -> Self {
         let n = x.rows().max(1) as f64;
         let mut sq = vec![0.0f64; x.cols()];
-        for (_, idx, val) in x.iter_rows() {
-            for (&i, &v) in idx.iter().zip(val.iter()) {
+        for (_, row) in x.iter_rows() {
+            for (i, v) in row.iter() {
                 sq[i as usize] += v * v;
             }
         }
@@ -91,14 +103,14 @@ impl StdScaler {
         &self.scale
     }
 
-    /// Applies to one sparse row.
-    pub fn transform(&self, x: &SparseVec) -> Result<SparseVec> {
+    /// Applies to one sparse row (owned vector or borrowed view).
+    pub fn transform<R: SparseRow + ?Sized>(&self, x: &R) -> Result<SparseVec> {
         if x.dim() != self.scale.len() {
             return Err(SpaError::DimensionMismatch { got: x.dim(), expected: self.scale.len() });
         }
         SparseVec::from_pairs(
             x.dim(),
-            x.iter().map(|(i, v)| (i, v / self.scale[i as usize])),
+            SparseRow::iter(x).map(|(i, v)| (i, v / self.scale[i as usize])),
         )
     }
 }
@@ -124,8 +136,8 @@ mod tests {
         assert_eq!(t.get(0), 1.0);
         assert_eq!(t.get(1), -1.0);
         let all = scaler.transform_matrix(&m).unwrap();
-        for (_, _, vals) in all.iter_rows() {
-            assert!(vals.iter().all(|v| v.abs() <= 1.0 + 1e-12));
+        for (_, row) in all.iter_rows() {
+            assert!(row.values().iter().all(|v| v.abs() <= 1.0 + 1e-12));
         }
     }
 

@@ -20,7 +20,7 @@ use crate::dataset::Dataset;
 use crate::{Classifier, OnlineLearner};
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use spa_linalg::SparseVec;
+use spa_linalg::{RowView, SparseRow, SparseVec};
 use spa_types::{Result, SpaError};
 
 /// Hyper-parameters for [`LinearSvm`].
@@ -98,9 +98,9 @@ impl LinearSvm {
         self.trained
     }
 
-    fn check_dim(&self, x: &SparseVec) -> Result<()> {
-        if x.dim() != self.weights.len() {
-            return Err(SpaError::DimensionMismatch { got: x.dim(), expected: self.weights.len() });
+    fn check_dim(&self, dim: usize) -> Result<()> {
+        if dim != self.weights.len() {
+            return Err(SpaError::DimensionMismatch { got: dim, expected: self.weights.len() });
         }
         Ok(())
     }
@@ -182,18 +182,18 @@ impl Classifier for LinearSvm {
         Ok(())
     }
 
-    fn decision_function(&self, x: &SparseVec) -> Result<f64> {
+    fn decision_view(&self, x: RowView<'_>) -> Result<f64> {
         if !self.trained {
             return Err(SpaError::NotTrained);
         }
-        self.check_dim(x)?;
+        self.check_dim(x.dim())?;
         Ok(x.dot_dense(&self.weights) + self.bias)
     }
 }
 
 impl OnlineLearner for LinearSvm {
     fn partial_fit(&mut self, x: &SparseVec, y: f64) -> Result<()> {
-        self.check_dim(x)?;
+        self.check_dim(x.dim())?;
         if y != 1.0 && y != -1.0 {
             return Err(SpaError::Invalid(format!("label must be ±1.0, got {y}")));
         }
@@ -225,8 +225,7 @@ mod tests {
         for i in 0..n {
             let y = if i % 2 == 0 { 1.0 } else { -1.0 };
             let center = 2.0 * y;
-            let dense: Vec<f64> =
-                (0..dim).map(|_| center + rng.gen_range(-0.5..0.5)).collect();
+            let dense: Vec<f64> = (0..dim).map(|_| center + rng.gen_range(-0.5..0.5)).collect();
             d.push(&SparseVec::from_dense(&dense), y).unwrap();
         }
         d
@@ -263,10 +262,7 @@ mod tests {
     #[test]
     fn untrained_svm_refuses_to_predict() {
         let svm = LinearSvm::with_dim(2);
-        assert!(matches!(
-            svm.decision_function(&SparseVec::zeros(2)),
-            Err(SpaError::NotTrained)
-        ));
+        assert!(matches!(svm.decision_function(&SparseVec::zeros(2)), Err(SpaError::NotTrained)));
     }
 
     #[test]
@@ -348,8 +344,10 @@ mod tests {
             d.push(&SparseVec::from_dense(&dense), y).unwrap();
         }
         let recall = |pw: f64| {
-            let mut svm =
-                LinearSvm::new(2, SvmConfig { positive_weight: pw, epochs: 8, ..Default::default() });
+            let mut svm = LinearSvm::new(
+                2,
+                SvmConfig { positive_weight: pw, epochs: 8, ..Default::default() },
+            );
             svm.fit(&d).unwrap();
             let mut tp = 0;
             let mut p = 0;

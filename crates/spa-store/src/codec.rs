@@ -225,7 +225,10 @@ mod tests {
             LifeLogEvent::new(
                 UserId::new(3),
                 Timestamp::from_millis(300),
-                EventKind::Transaction { course: CourseId::new(4), campaign: Some(CampaignId::new(1)) },
+                EventKind::Transaction {
+                    course: CourseId::new(4),
+                    campaign: Some(CampaignId::new(1)),
+                },
             ),
             LifeLogEvent::new(
                 UserId::new(4),

@@ -175,8 +175,7 @@ mod tests {
 
     #[test]
     fn file_round_trip() {
-        let path =
-            std::env::temp_dir().join(format!("spa-csv-{}.csv", std::process::id()));
+        let path = std::env::temp_dir().join(format!("spa-csv-{}.csv", std::process::id()));
         let rows = vec![vec!["x".to_string(), "y,z".to_string()]];
         write_csv(&path, &rows).unwrap();
         let parsed = read_csv(&path).unwrap();

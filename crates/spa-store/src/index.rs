@@ -68,7 +68,8 @@ impl SensibilityIndex {
 
     /// Users sensitive to *any* of the given attributes (set union).
     pub fn users_for_any(&self, attrs: &[AttributeId]) -> Vec<UserId> {
-        let mut out: Vec<UserId> = attrs.iter().flat_map(|&a| self.users_for(a).iter().copied()).collect();
+        let mut out: Vec<UserId> =
+            attrs.iter().flat_map(|&a| self.users_for(a).iter().copied()).collect();
         out.sort_unstable();
         out.dedup();
         out

@@ -93,10 +93,8 @@ impl EventLog {
             Some((idx, path)) => (*idx, fs::metadata(path)?.len()),
             None => (0, 0),
         };
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(segment_path(&dir, segment_index))?;
+        let file =
+            OpenOptions::new().create(true).append(true).open(segment_path(&dir, segment_index))?;
         Ok(Self {
             dir,
             config,

@@ -89,8 +89,7 @@ impl ProfileStore {
     /// first when absent. Bumps the update counter and timestamp.
     pub fn update(&self, user: UserId, at: Timestamp, f: impl FnOnce(&mut [f64])) {
         let mut shard = self.shard(user).write();
-        let profile =
-            shard.entry(user.raw()).or_insert_with(|| UserProfile::new(self.dim));
+        let profile = shard.entry(user.raw()).or_insert_with(|| UserProfile::new(self.dim));
         f(&mut profile.values);
         profile.updates += 1;
         profile.last_update = at;

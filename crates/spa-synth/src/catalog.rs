@@ -225,8 +225,10 @@ mod tests {
     #[test]
     fn browse_dominates_enroll() {
         let catalog = ActionCatalog::emagister();
-        assert!(catalog.actions_of(ActionKind::Browse).len()
-            > 5 * catalog.actions_of(ActionKind::Enroll).len());
+        assert!(
+            catalog.actions_of(ActionKind::Browse).len()
+                > 5 * catalog.actions_of(ActionKind::Enroll).len()
+        );
     }
 
     #[test]

@@ -88,10 +88,28 @@ mod tests {
         let pop = population();
         let sim = AnswerSimulator::default();
         let user = pop.user(UserId::new(1)).unwrap();
-        let a = sim.react(user, QuestionId::new(3), EmotionalAttribute::Hopeful, 0, Timestamp::from_millis(5));
-        let b = sim.react(user, QuestionId::new(3), EmotionalAttribute::Hopeful, 0, Timestamp::from_millis(5));
+        let a = sim.react(
+            user,
+            QuestionId::new(3),
+            EmotionalAttribute::Hopeful,
+            0,
+            Timestamp::from_millis(5),
+        );
+        let b = sim.react(
+            user,
+            QuestionId::new(3),
+            EmotionalAttribute::Hopeful,
+            0,
+            Timestamp::from_millis(5),
+        );
         assert_eq!(a, b);
-        let c = sim.react(user, QuestionId::new(3), EmotionalAttribute::Hopeful, 1, Timestamp::from_millis(5));
+        let c = sim.react(
+            user,
+            QuestionId::new(3),
+            EmotionalAttribute::Hopeful,
+            1,
+            Timestamp::from_millis(5),
+        );
         // different round → independent draw (usually different outcome or noise)
         let differs = a != c;
         // The skip/answer decision could coincide; only require that the

@@ -56,10 +56,9 @@ impl StressState {
                 (EmotionalAttribute::Motivated, 0.7),
                 (EmotionalAttribute::Lively, 0.5),
             ],
-            StressState::Overloaded => &[
-                (EmotionalAttribute::Frightened, 0.9),
-                (EmotionalAttribute::Impatient, 0.7),
-            ],
+            StressState::Overloaded => {
+                &[(EmotionalAttribute::Frightened, 0.9), (EmotionalAttribute::Impatient, 0.7)]
+            }
         }
     }
 
@@ -123,7 +122,8 @@ pub fn classify(sample: &PhysioSample) -> Result<PhysioReading> {
         return Err(SpaError::Invalid("non-finite physiological sample".into()));
     }
     // standardize by rough physiological dynamic ranges
-    let norm = |s: &PhysioSample| [s.heart_rate / 40.0, s.skin_conductance / 4.0, s.respiration / 8.0];
+    let norm =
+        |s: &PhysioSample| [s.heart_rate / 40.0, s.skin_conductance / 4.0, s.respiration / 8.0];
     let x = norm(sample);
     let mut best = (StressState::Calm, f64::INFINITY);
     for state in StressState::ALL {
@@ -135,11 +135,8 @@ pub fn classify(sample: &PhysioSample) -> Result<PhysioReading> {
         }
     }
     let state = best.0;
-    let emotions = state
-        .expressed_emotions()
-        .iter()
-        .map(|&(emo, v)| (emo, Valence::new(v)))
-        .collect();
+    let emotions =
+        state.expressed_emotions().iter().map(|&(emo, v)| (emo, Valence::new(v))).collect();
     Ok(PhysioReading { state, emotions, fitness: state.fitness() })
 }
 
@@ -192,12 +189,9 @@ mod tests {
 
     #[test]
     fn focus_reads_as_fit() {
-        let reading = classify(&PhysioSample {
-            heart_rate: 104.0,
-            skin_conductance: 6.2,
-            respiration: 19.0,
-        })
-        .unwrap();
+        let reading =
+            classify(&PhysioSample { heart_rate: 104.0, skin_conductance: 6.2, respiration: 19.0 })
+                .unwrap();
         assert_eq!(reading.state, StressState::Focused);
         assert!(reading.fitness.value() > 0.5);
     }

@@ -172,11 +172,8 @@ impl Population {
                     clamp01(0.5 * linked + 0.5 * rng.gen::<f64>())
                 })
                 .collect();
-            let explained: f64 = objective
-                .iter()
-                .zip(propensity_weights.iter())
-                .map(|(x, w)| (x - 0.5) * w)
-                .sum();
+            let explained: f64 =
+                objective.iter().zip(propensity_weights.iter()).map(|(x, w)| (x - 0.5) * w).sum();
             let base_propensity = (1.4 * explained + 0.22 * gauss(&mut rng)).clamp(-1.5, 1.5);
             let activity = rng.gen::<f64>().powf(0.6).max(0.02);
             let eit_response_rate =
@@ -248,10 +245,9 @@ impl Population {
         answered: &[bool; N_EMOTIONAL],
         noise_seed: u64,
     ) -> Result<SparseVec> {
-        let user = self
-            .user(id)
-            .ok_or_else(|| SpaError::NotFound(format!("user {id}")))?;
-        let mut rng = StdRng::seed_from_u64(noise_seed ^ (id.raw() as u64).wrapping_mul(0x9E37_79B9));
+        let user = self.user(id).ok_or_else(|| SpaError::NotFound(format!("user {id}")))?;
+        let mut rng =
+            StdRng::seed_from_u64(noise_seed ^ (id.raw() as u64).wrapping_mul(0x9E37_79B9));
         let mut pairs: Vec<(u32, f64)> = Vec::with_capacity(N_ATTRIBUTES);
         for (i, &v) in user.objective.iter().enumerate() {
             pairs.push((i as u32, clamp01(v + 0.02 * gauss(&mut rng)).max(1e-9)));
@@ -303,11 +299,7 @@ mod tests {
             ..Default::default()
         })
         .unwrap();
-        let same = a
-            .users()
-            .zip(b.users())
-            .filter(|(ua, ub)| ua.emotional == ub.emotional)
-            .count();
+        let same = a.users().zip(b.users()).filter(|(ua, ub)| ua.emotional == ub.emotional).count();
         assert!(same < 5, "{same} users identical across seeds");
     }
 
@@ -333,13 +325,11 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_configs() {
-        assert!(Population::generate(PopulationConfig { n_users: 0, ..Default::default() })
+        assert!(
+            Population::generate(PopulationConfig { n_users: 0, ..Default::default() }).is_err()
+        );
+        assert!(Population::generate(PopulationConfig { n_archetypes: 0, ..Default::default() })
             .is_err());
-        assert!(Population::generate(PopulationConfig {
-            n_archetypes: 0,
-            ..Default::default()
-        })
-        .is_err());
     }
 
     #[test]
@@ -426,8 +416,8 @@ mod tests {
     fn base_propensity_correlates_with_objective_attrs() {
         // The first 8 objective attributes carry propensity weights, so
         // a regression of propensity on them should beat noise.
-        let p = Population::generate(PopulationConfig { n_users: 3000, ..Default::default() })
-            .unwrap();
+        let p =
+            Population::generate(PopulationConfig { n_users: 3000, ..Default::default() }).unwrap();
         // crude check: correlation of propensity with the best single
         // objective attribute exceeds what random noise would give
         let mut best = 0.0f64;

@@ -130,12 +130,7 @@ impl ResponseModel {
     /// Bisects the intercept so that `mean_probability(population,
     /// best_match)` hits `target` (±1e-4). This pins the synthetic
     /// campaign's average response rate to the paper's observed ≈21%.
-    pub fn calibrate(
-        self,
-        population: &Population,
-        target: f64,
-        best_match: bool,
-    ) -> Result<Self> {
+    pub fn calibrate(self, population: &Population, target: f64, best_match: bool) -> Result<Self> {
         let coverage = if best_match { 1.0 } else { 0.0 };
         self.calibrate_mixed(population, target, coverage)
     }
@@ -215,9 +210,7 @@ mod tests {
             let dom = user.dominant_emotion();
             let weakest = spa_types::EMOTIONAL_ATTRIBUTES
                 .into_iter()
-                .min_by(|&a, &b| {
-                    user.sensibility(a).partial_cmp(&user.sensibility(b)).unwrap()
-                })
+                .min_by(|&a, &b| user.sensibility(a).partial_cmp(&user.sensibility(b)).unwrap())
                 .unwrap();
             assert!(model.probability(user, Some(dom)) >= model.probability(user, Some(weakest)));
         }
@@ -226,9 +219,8 @@ mod tests {
     #[test]
     fn calibration_hits_the_target() {
         let pop = population();
-        let model = ResponseModel::new(ResponseConfig::default())
-            .calibrate(&pop, 0.21, true)
-            .unwrap();
+        let model =
+            ResponseModel::new(ResponseConfig::default()).calibrate(&pop, 0.21, true).unwrap();
         let mean = model.mean_probability(&pop, true);
         assert!((mean - 0.21).abs() < 0.005, "calibrated mean {mean}");
     }

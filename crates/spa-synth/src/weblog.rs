@@ -81,7 +81,7 @@ pub fn generate_weblogs(
             let n_events = sample_poissonish(&mut rng, config.mean_session_len).max(1);
             let topic = preferred_topic(user, courses.n_topics());
             for step in 0..n_events {
-                let at = start.plus_millis(step as u64 * rng.gen_range(2_000..90_000));
+                let at = start.plus_millis(step as u64 * rng.gen_range(2_000u64..90_000));
                 let event = synth_event(user, actions, courses, topic, at, &mut rng);
                 if event.kind.is_transaction() {
                     stats.transactions += 1;
@@ -176,8 +176,8 @@ mod tests {
     use crate::population::PopulationConfig;
 
     fn setup() -> (Population, ActionCatalog, CourseCatalog) {
-        let pop = Population::generate(PopulationConfig { n_users: 300, ..Default::default() })
-            .unwrap();
+        let pop =
+            Population::generate(PopulationConfig { n_users: 300, ..Default::default() }).unwrap();
         (pop, ActionCatalog::emagister(), CourseCatalog::generate(50, 8, 3).unwrap())
     }
 
@@ -187,10 +187,10 @@ mod tests {
         let config = WeblogConfig::default();
         let mut a = Vec::new();
         let mut b = Vec::new();
-        let sa = generate_weblogs(&pop, &actions, &courses, &config, |e| a.push(e.clone()))
-            .unwrap();
-        let sb = generate_weblogs(&pop, &actions, &courses, &config, |e| b.push(e.clone()))
-            .unwrap();
+        let sa =
+            generate_weblogs(&pop, &actions, &courses, &config, |e| a.push(e.clone())).unwrap();
+        let sb =
+            generate_weblogs(&pop, &actions, &courses, &config, |e| b.push(e.clone())).unwrap();
         assert_eq!(a, b);
         assert_eq!(sa, sb);
         assert!(sa.events > 0);
@@ -224,8 +224,7 @@ mod tests {
         .unwrap();
         // correlation between latent activity and event count
         let xs: Vec<f64> = pop.users().map(|u| u.activity).collect();
-        let ys: Vec<f64> =
-            pop.users().map(|u| *per_user.get(&u.id).unwrap_or(&0) as f64).collect();
+        let ys: Vec<f64> = pop.users().map(|u| *per_user.get(&u.id).unwrap_or(&0) as f64).collect();
         let r = spa_linalg::stats::correlation(&xs, &ys);
         assert!(r > 0.4, "activity/event correlation too weak: {r}");
     }

@@ -108,10 +108,7 @@ impl EmotionalAttribute {
 
     /// Index in [`EMOTIONAL_ATTRIBUTES`].
     pub fn ordinal(self) -> usize {
-        EMOTIONAL_ATTRIBUTES
-            .iter()
-            .position(|&e| e == self)
-            .expect("every variant is listed")
+        EMOTIONAL_ATTRIBUTES.iter().position(|&e| e == self).expect("every variant is listed")
     }
 
     /// Parses the lower-case paper name.

@@ -30,8 +30,8 @@ pub use attributes::{
     AttributeDef, AttributeKind, AttributeSchema, EmotionalAttribute, EMOTIONAL_ATTRIBUTES,
 };
 pub use error::SpaError;
-pub use four_branch::{Branch, BRANCHES};
 pub use events::{EventKind, LifeLogEvent, Timestamp};
+pub use four_branch::{Branch, BRANCHES};
 pub use ids::{ActionId, AttributeId, CampaignId, CourseId, QuestionId, UserId};
 pub use valence::Valence;
 

@@ -1,0 +1,240 @@
+//! Offline vendored stand-in for the `bytes` crate.
+//!
+//! Vec-backed [`Bytes`] / [`BytesMut`] plus the little-endian
+//! [`Buf`]/[`BufMut`] accessor subset the store codec uses. No
+//! reference-counted zero-copy slicing — `freeze`, `split` and `slice`
+//! copy — which is fine for the < 64-byte frames encoded here.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// Immutable byte buffer (cursor-based reads via [`Buf`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self { data: data.to_vec(), pos: 0 }
+    }
+
+    /// Sub-range copy (indices relative to the unread region).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes { data: self.as_slice()[range].to_vec(), pos: 0 }
+    }
+
+    /// Remaining (unread) bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Length of the unread region.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+/// Growable byte buffer (appends via [`BufMut`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Clears contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Appends raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Converts to an immutable buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+
+    /// Takes the current contents, leaving an empty buffer (keeps the
+    /// allocation behaviour simple: contents are moved out).
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut { data: std::mem::take(&mut self.data) }
+    }
+
+    /// Copies contents to a plain vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Cursor-based little-endian reads.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads `n` bytes into a scratch array position (internal).
+    fn advance_read(&mut self, n: usize) -> &[u8];
+
+    /// True when bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.advance_read(1)[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.advance_read(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.advance_read(8).try_into().expect("8 bytes"))
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.advance_read(8).try_into().expect("8 bytes"))
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance_read(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "buffer underflow");
+        let start = self.pos;
+        self.pos += n;
+        &self.data[start..start + n]
+    }
+}
+
+/// Little-endian appends.
+pub trait BufMut {
+    /// Appends raw bytes (internal building block).
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_accessors() {
+        let mut out = BytesMut::with_capacity(32);
+        out.put_u8(7);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(42);
+        out.put_f64_le(-1.5);
+        assert_eq!(out.len(), 1 + 4 + 8 + 8);
+        let mut b = out.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64_le(), 42);
+        assert_eq!(b.get_f64_le(), -1.5);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn split_takes_contents() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"abc");
+        let taken = buf.split();
+        assert_eq!(&*taken, b"abc");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn slice_is_relative_to_unread() {
+        let mut b = Bytes::copy_from_slice(b"hello world");
+        let _ = b.get_u8();
+        assert_eq!(&*b.slice(0..4), b"ello");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::copy_from_slice(b"ab");
+        let _ = b.get_u32_le();
+    }
+}

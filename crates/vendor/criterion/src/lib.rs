@@ -1,0 +1,280 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, `Bencher::iter` /
+//! `iter_batched` and `black_box` — with a simple but honest
+//! wall-clock measurement loop (warm-up, then `sample_size` samples of
+//! auto-calibrated iteration batches; reports mean / min / throughput).
+//!
+//! Results are printed to stdout and appended as JSON lines to
+//! `target/spa-bench/results.jsonl` (override the path with the
+//! `SPA_BENCH_JSON` env var) so perf baselines can be recorded.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing for [`Bencher::iter_batched`] (measurement here always
+/// re-runs setup per batch; the variants only exist for API parity).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input for every single iteration.
+    PerIteration,
+}
+
+/// One benchmark's measurement driver.
+pub struct Bencher<'a> {
+    samples: usize,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(40);
+const WARMUP_TIME: Duration = Duration::from_millis(150);
+
+impl<'a> Bencher<'a> {
+    /// Times `routine`, excluding nothing (the closure is the unit of
+    /// measurement).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up + calibration: find an iteration count that fills the
+        // target sample time.
+        let warm_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_TIME {
+            black_box(routine());
+            calibration_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / calibration_iters.max(1) as f64;
+        let iters_per_sample =
+            ((TARGET_SAMPLE_TIME.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 30);
+
+        let mut means = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            means.push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        let mean_ns = means.iter().sum::<f64>() / means.len() as f64;
+        let min_ns = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        *self.result =
+            Some(Sample { mean_ns, min_ns, iters: iters_per_sample * self.samples as u64 });
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut means = Vec::with_capacity(self.samples);
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            means.push(start.elapsed().as_secs_f64() * 1e9);
+            total_iters += 1;
+        }
+        let mean_ns = means.iter().sum::<f64>() / means.len() as f64;
+        let min_ns = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        *self.result = Some(Sample { mean_ns, min_ns, iters: total_iters });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets how long each sample may take (accepted for API parity;
+    /// the stand-in keeps its fixed target).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        let mut result = None;
+        let mut bencher = Bencher { samples: self.sample_size, result: &mut result };
+        f(&mut bencher);
+        self.criterion.report(&full, result, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    json_path: std::path::PathBuf,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let json_path = std::env::var_os("SPA_BENCH_JSON")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("target/spa-bench/results.jsonl"));
+        Self { json_path }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, sample_size: 20, throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher<'_>)) -> &mut Self {
+        let mut result = None;
+        let mut bencher = Bencher { samples: 20, result: &mut result };
+        f(&mut bencher);
+        let full = name.to_string();
+        self.report(&full, result, None);
+        self
+    }
+
+    fn report(&mut self, name: &str, result: Option<Sample>, throughput: Option<Throughput>) {
+        let Some(s) = result else {
+            println!("{name:<56} (no measurement)");
+            return;
+        };
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => (n as f64 / (s.mean_ns * 1e-9), "elem/s"),
+            Throughput::Bytes(n) => (n as f64 / (s.mean_ns * 1e-9), "B/s"),
+        });
+        match rate {
+            Some((r, unit)) => println!(
+                "{name:<56} mean {:>12} min {:>12}  {:.3e} {unit}",
+                fmt_ns(s.mean_ns),
+                fmt_ns(s.min_ns),
+                r
+            ),
+            None => {
+                println!("{name:<56} mean {:>12} min {:>12}", fmt_ns(s.mean_ns), fmt_ns(s.min_ns))
+            }
+        }
+        if let Some(dir) = self.json_path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Ok(mut f) =
+            std::fs::OpenOptions::new().create(true).append(true).open(&self.json_path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"bench\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"iters\":{}}}",
+                name.replace('"', "'"),
+                s.mean_ns,
+                s.min_ns,
+                s.iters
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_sane() {
+        let tmp = std::env::temp_dir().join(format!("spa-crit-test-{}.jsonl", std::process::id()));
+        std::env::set_var("SPA_BENCH_JSON", &tmp);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+        let written = std::fs::read_to_string(&tmp).unwrap();
+        assert!(written.contains("unit/noop_sum"));
+        let _ = std::fs::remove_file(&tmp);
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline vendored stand-in for `crossbeam-channel`.
+//!
+//! Wraps `std::sync::mpsc` behind the `crossbeam_channel` API subset
+//! the workspace uses (`unbounded`, clonable `Sender`, blocking
+//! `Receiver::recv`). `std`'s `Sender` has been `Sync` since Rust 1.72,
+//! so senders can be shared through `Arc` routing tables exactly like
+//! crossbeam's.
+
+#![forbid(unsafe_code)]
+
+use std::sync::mpsc;
+
+/// Error returned by [`Sender::send`] when the receiver is gone;
+/// carries the unsent message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel is currently empty.
+    Empty,
+    /// All senders disconnected.
+    Disconnected,
+}
+
+/// Sending half of a channel.
+#[derive(Debug)]
+pub struct Sender<T>(mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, failing if the receiver was dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+    }
+}
+
+/// Receiving half of a channel.
+#[derive(Debug)]
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Iterates over received messages until disconnection.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.recv().ok())
+    }
+}
+
+/// Creates an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_round_trip() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..5).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn disconnection_is_reported() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        let (tx2, rx2) = unbounded::<u8>();
+        drop(tx2);
+        assert_eq!(rx2.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn senders_are_shareable_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx = std::sync::Arc::new(tx);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let tx = std::sync::Arc::clone(&tx);
+                std::thread::spawn(move || tx.send(t).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,328 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! re-implements the exact API subset the workspace uses: a seedable
+//! deterministic generator ([`rngs::StdRng`], xoshiro256++ seeded via
+//! SplitMix64), uniform sampling ([`Rng::gen`], [`Rng::gen_range`]),
+//! slice shuffling ([`seq::SliceRandom`]) and index sampling without
+//! replacement ([`seq::index::sample`]).
+//!
+//! Streams are deterministic per seed but do **not** match upstream
+//! `rand`'s streams; nothing in the workspace depends on the exact
+//! stream, only on determinism and reasonable uniformity.
+
+#![forbid(unsafe_code)]
+
+/// A random number generator: one required method plus the sampling
+/// surface the workspace uses.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value from its "standard" distribution (`f64`/`f32`
+    /// uniform in `[0, 1)`, integers uniform over their full range,
+    /// `bool` fair).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from the standard distribution via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample_standard<G: Rng>(g: &mut G) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<G: Rng>(g: &mut G) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1)
+        (g.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<G: Rng>(g: &mut G) -> Self {
+        (g.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<G: Rng>(g: &mut G) -> Self {
+        g.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<G: Rng>(g: &mut G) -> Self {
+                g.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    /// Element type of the range.
+    type Output;
+    /// Draws one value uniformly from the (non-empty) range.
+    fn sample_from<G: Rng>(self, g: &mut G) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<G: Rng>(self, g: &mut G) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        let u = f64::sample_standard(g);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::Range<f32> {
+    type Output = f32;
+    fn sample_from<G: Rng>(self, g: &mut G) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty f32 range");
+        let u = f32::sample_standard(g);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Uniform integer in `[0, span)` by widening multiply (negligible bias
+/// for the span sizes used here).
+fn uniform_below<G: Rng>(g: &mut G, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((g.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<G: Rng>(self, g: &mut G) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(g, span) as i128) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<G: Rng>(self, g: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return g.next_u64() as $t; // full-width range
+                }
+                (lo as i128 + uniform_below(g, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `rand`'s
+    /// `StdRng`; streams differ from upstream).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// In-place random shuffling of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<G: Rng>(&mut self, rng: &mut G);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<G: Rng>(&mut self, rng: &mut G) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Sampling of index sets without replacement.
+    pub mod index {
+        use super::super::Rng;
+
+        /// Result of [`sample`]: distinct indices in draw order.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// True when nothing was sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// The sampled indices as a vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length` (partial
+        /// Fisher–Yates).
+        pub fn sample<G: Rng>(rng: &mut G, length: usize, amount: usize) -> IndexVec {
+            let amount = amount.min(length);
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+/// Glob-import surface mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = rng.gen_range(5..8usize);
+            assert!((5..8).contains(&i));
+            let j = rng.gen_range(1..=4usize);
+            assert!((1..=4).contains(&j));
+        }
+    }
+
+    #[test]
+    fn uniformity_is_sane() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_sample_is_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let picked: Vec<usize> = super::seq::index::sample(&mut rng, 100, 40).into_iter().collect();
+        assert_eq!(picked.len(), 40);
+        let unique: std::collections::HashSet<_> = picked.iter().collect();
+        assert_eq!(unique.len(), 40);
+        assert!(picked.iter().all(|&i| i < 100));
+    }
+}

@@ -1,0 +1,412 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Implements the API subset the workspace uses — `par_iter()` over
+//! slices, `into_par_iter()` over index ranges, `map`, `collect` into
+//! `Vec`, plus `ThreadPoolBuilder::num_threads(..).build().install(..)`
+//! for pinning a thread count — on top of `std::thread::scope`.
+//!
+//! Execution model: every parallel pipeline is an *indexed* source;
+//! `collect` splits the index space into one contiguous chunk per
+//! worker and reassembles results **in index order**, so outputs are
+//! bit-identical to the serial evaluation regardless of thread count
+//! (the property the workspace's differential tests rely on).
+//!
+//! Thread count resolution order: `ThreadPool::install` override →
+//! `RAYON_NUM_THREADS` env var → `std::thread::available_parallelism`.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+
+thread_local! {
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations will use on this
+/// thread (see the crate docs for the resolution order).
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_OVERRIDE.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (infallible
+/// here; kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the worker-thread count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A logical thread pool: here just a pinned thread count that
+/// parallel operations inside [`ThreadPool::install`] will honour.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count in effect.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_OVERRIDE.with(|c| c.replace(self.num_threads));
+        let guard = RestoreOverride(prev);
+        let out = op();
+        drop(guard);
+        out
+    }
+}
+
+struct RestoreOverride(Option<usize>);
+
+impl Drop for RestoreOverride {
+    fn drop(&mut self) {
+        POOL_OVERRIDE.with(|c| c.set(self.0));
+    }
+}
+
+/// An indexed parallel pipeline: a length plus a pure per-index
+/// producer. All combinators and sources implement this.
+pub trait ParallelIterator: Sync + Sized {
+    /// Item produced per index.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// True when the pipeline has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the item at `index` (must be pure: called once per
+    /// index, from any worker thread).
+    fn item(&self, index: usize) -> Self::Item;
+
+    /// Minimum number of items a worker thread must receive (1 unless
+    /// overridden via [`ParallelIterator::with_min_len`]). Unlike
+    /// upstream rayon this shim has no persistent pool — every
+    /// `collect` pays thread spawn + join — so cheap-per-item
+    /// pipelines should set a coarse granularity.
+    fn min_len(&self) -> usize {
+        1
+    }
+
+    /// Maps each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Sets the minimum items per worker chunk (mirrors rayon's
+    /// `IndexedParallelIterator::with_min_len`). Does not change
+    /// results — only how many threads are worth spawning.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min: min.max(1) }
+    }
+
+    /// Executes the pipeline and collects results in index order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Executes the pipeline for its side effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _: Vec<()> = self.map(&f).collect();
+    }
+}
+
+/// Collection types buildable from a parallel pipeline.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Runs the pipeline and assembles the output in index order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self {
+        let n = p.len();
+        let threads = current_num_threads().min(n.div_ceil(p.min_len()).max(1));
+        if threads <= 1 {
+            return (0..n).map(|i| p.item(i)).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(threads);
+        std::thread::scope(|s| {
+            let p = &p;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    s.spawn(move || {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(n);
+                        (lo..hi).map(|i| p.item(i)).collect::<Vec<T>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+/// Pipeline stage produced by [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+/// Pipeline stage produced by [`ParallelIterator::with_min_len`].
+pub struct MinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
+    type Item = P::Item;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn item(&self, index: usize) -> P::Item {
+        self.base.item(index)
+    }
+
+    fn min_len(&self) -> usize {
+        self.min
+    }
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn item(&self, index: usize) -> R {
+        (self.f)(self.base.item(index))
+    }
+
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+}
+
+/// Conversion into a parallel pipeline (mirrors rayon's trait).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting pipeline.
+    type Item: Send;
+    /// Pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel pipeline over a `usize` range.
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn item(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { start: self.start, len: self.end.saturating_sub(self.start) }
+    }
+}
+
+/// Parallel pipeline over slice elements.
+pub struct SliceIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn item(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self.as_slice() }
+    }
+}
+
+/// `par_iter()` sugar on collections whose references convert.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type (a shared reference).
+    type Item: Send + 'data;
+    /// Pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing parallel iteration.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+{
+    type Item = <&'data C as IntoParallelIterator>::Item;
+    type Iter = <&'data C as IntoParallelIterator>::Iter;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_borrows() {
+        let data = vec![1.0f64, 2.0, 3.0];
+        let out: Vec<f64> = data.par_iter().map(|x| x + 1.0).collect();
+        assert_eq!(out, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let f = |i: usize| (i as f64).sqrt().sin();
+        let serial: Vec<f64> = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| (0..10_000usize).into_par_iter().map(f).collect());
+        let parallel: Vec<f64> = ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap()
+            .install(|| (0..10_000usize).into_par_iter().map(f).collect());
+        assert_eq!(serial, parallel, "order-preserving assembly must be bit-identical");
+    }
+
+    #[test]
+    fn install_override_nests_and_restores() {
+        let outer = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            inner.install(|| assert_eq!(current_num_threads(), 1));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn with_min_len_limits_fanout_without_changing_results() {
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let out: Vec<usize> = pool
+            .install(|| (0..100usize).into_par_iter().map(|i| i + 1).with_min_len(1024).collect());
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+        // min_len propagates through map in either composition order
+        let a = (0..10usize).into_par_iter().with_min_len(7).map(|i| i);
+        let b = (0..10usize).into_par_iter().map(|i| i).with_min_len(7);
+        assert_eq!(a.min_len(), 7);
+        assert_eq!(b.min_len(), 7);
+    }
+
+    #[test]
+    fn empty_pipelines_are_fine() {
+        let out: Vec<usize> = (5..5usize).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -22,7 +22,8 @@ fn main() -> Result<(), SpaError> {
     let base = ExperimentConfig { n_users, ..Default::default() };
 
     println!("running the full pipeline (objective + subjective + emotional)…");
-    let full = Experiment::new(ExperimentConfig { mask_emotional: false, ..base.clone() })?.run()?;
+    let full =
+        Experiment::new(ExperimentConfig { mask_emotional: false, ..base.clone() })?.run()?;
     println!("running the masked pipeline (emotional block removed)…\n");
     let masked = Experiment::new(ExperimentConfig { mask_emotional: true, ..base })?.run()?;
 

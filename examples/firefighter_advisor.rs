@@ -33,7 +33,10 @@ fn main() -> spa::types::Result<()> {
         ("Petit", StressState::Calm),
     ];
 
-    println!("{:<10} {:>6} {:>6} {:>6}   {:<12} {:>8}  advice", "member", "HR", "EDA", "RR", "state", "fitness");
+    println!(
+        "{:<10} {:>6} {:>6} {:>6}   {:<12} {:>8}  advice",
+        "member", "HR", "EDA", "RR", "state", "fitness"
+    );
     for (idx, (name, latent_state)) in brigade.iter().enumerate() {
         let user = UserId::new(idx as u32);
         // ten signal windows stream in from the wearable
@@ -68,10 +71,7 @@ fn main() -> spa::types::Result<()> {
             reading.fitness.to_string(),
             advice
         );
-        assert_eq!(
-            reading.state, *latent_state,
-            "ten windows must pin down the latent state"
-        );
+        assert_eq!(reading.state, *latent_state, "ten windows must pin down the latent state");
     }
 
     // the commander can also inspect each member's emotional profile —

@@ -24,10 +24,7 @@ fn main() -> Result<(), SpaError> {
     let platform = Spa::new(&courses, SpaConfig::default());
     let simulator = spa::synth::eit::AnswerSimulator::default();
 
-    println!(
-        "{:>6} {:>10} {:>10} {:>10}",
-        "round", "coverage", "fidelity", "sparsity"
-    );
+    println!("{:>6} {:>10} {:>10} {:>10}", "round", "coverage", "fidelity", "sparsity");
     for round in 0..rounds {
         // one EIT question per user per contact round
         for user in population.users() {

@@ -75,11 +75,13 @@ pub mod prelude {
         SelectionFunction, SmartUserModel, SumConfig, SumRegistry,
     };
     pub use spa_linalg::{CsrMatrix, SparseVec};
-    pub use spa_ml::{BernoulliNb, Classifier, Dataset, LinearSvm, LogisticRegression, OnlineLearner};
+    pub use spa_ml::{
+        BernoulliNb, Classifier, Dataset, LinearSvm, LogisticRegression, OnlineLearner,
+    };
     pub use spa_store::{EventLog, ProfileStore, SensibilityIndex};
     pub use spa_synth::{
-        ActionCatalog, ActionKind, Course, CourseCatalog, LatentUser, Population,
-        PopulationConfig, ResponseConfig, ResponseModel,
+        ActionCatalog, ActionKind, Course, CourseCatalog, LatentUser, Population, PopulationConfig,
+        ResponseConfig, ResponseModel,
     };
     pub use spa_types::{
         ActionId, AttributeId, AttributeKind, AttributeSchema, Branch, CampaignId, CourseId,

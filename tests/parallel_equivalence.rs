@@ -1,0 +1,170 @@
+//! Differential tests: the parallel scoring paths must be
+//! *bit-identical* to their serial references at every thread count.
+//!
+//! The machine running CI may have any core count (including 1), so
+//! each test pins explicit thread counts via `rayon`'s pool installer
+//! rather than trusting the ambient parallelism.
+
+use proptest::prelude::*;
+use rayon::ThreadPoolBuilder;
+use spa::ml::cv;
+use spa::ml::svm::{LinearSvm, SvmConfig};
+use spa::prelude::*;
+
+/// Builds a labelled sparse dataset from proptest-generated entries,
+/// large enough to cross `decision_batch`'s parallel threshold.
+fn build_dataset(dim: usize, rows: &[(u32, f64, bool)]) -> Dataset {
+    let mut d = Dataset::new(dim);
+    for &(idx_seed, value, positive) in rows {
+        let mut pairs: Vec<(u32, f64)> = (0..4u32)
+            .map(|j| {
+                (
+                    (idx_seed.wrapping_mul(j + 1).wrapping_add(j * 13)) % dim as u32,
+                    value + j as f64 * 0.25,
+                )
+            })
+            .collect();
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.dedup_by_key(|&mut (i, _)| i);
+        pairs.retain(|&(_, v)| v != 0.0);
+        let row = SparseVec::from_pairs(dim, pairs).unwrap();
+        d.push(&row, if positive { 1.0 } else { -1.0 }).unwrap();
+    }
+    d
+}
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new().num_threads(n).build().unwrap().install(f)
+}
+
+/// Exact (bit-level) comparison of two score vectors.
+fn assert_bits_equal(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(x.to_bits() == y.to_bits(), "scores diverge at row {i}: {x:?} vs {y:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// SVM, logistic regression and naive Bayes: `decision_batch` under
+    /// 1, 2 and 5 worker threads is bit-identical to the serial loop.
+    #[test]
+    fn decision_batch_parallel_matches_serial(
+        rows in proptest::collection::vec((0u32..1000, -2.0f64..2.0, proptest::bool::ANY), 2200..2600),
+        seed in 0u64..1000,
+    ) {
+        let dim = 32;
+        let data = build_dataset(dim, &rows);
+
+        let mut svm = LinearSvm::new(dim, SvmConfig { epochs: 2, seed, ..Default::default() });
+        svm.fit(&data).unwrap();
+        let mut logreg = LogisticRegression::with_dim(dim);
+        logreg.fit(&data).unwrap();
+        let mut nb = BernoulliNb::new(dim);
+        nb.fit(&data).unwrap();
+
+        let models: [&dyn Classifier; 3] = [&svm, &logreg, &nb];
+        for model in models {
+            let serial = model.decision_batch_serial(&data).unwrap();
+            for threads in [1usize, 2, 5] {
+                let parallel = with_threads(threads, || model.decision_batch(&data).unwrap());
+                assert_bits_equal(&serial, &parallel);
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_validation_parallel_matches_serial() {
+    let mut d = Dataset::new(8);
+    for i in 0..400u32 {
+        let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+        let row = SparseVec::from_pairs(8, [(i % 8, y * 1.5 + 0.1), ((i + 3) % 8, 0.4)]).unwrap();
+        d.push(&row, y).unwrap();
+    }
+    let make = || LinearSvm::new(8, SvmConfig { epochs: 3, ..Default::default() });
+    let serial = cv::cross_validate_serial(&d, 5, 77, make).unwrap();
+    for threads in [1usize, 3] {
+        let parallel = with_threads(threads, || cv::cross_validate(&d, 5, 77, make).unwrap());
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.fold, p.fold);
+            assert!(s.auc.to_bits() == p.auc.to_bits(), "fold {} AUC diverges", s.fold);
+        }
+    }
+}
+
+/// The full Fig 6 experiment — history build-up, training campaigns,
+/// selection training, parallel eval-campaign scoring — is byte-stable
+/// across thread counts: every contact record, campaign report and
+/// aggregate metric must match exactly.
+#[test]
+fn experiment_is_byte_stable_across_thread_counts() {
+    let config = ExperimentConfig {
+        n_users: 900,
+        n_courses: 20,
+        n_topics: 5,
+        ingest_weblogs: false,
+        history_eit_rounds: 6,
+        n_training_campaigns: 2,
+        n_eval_campaigns: 4,
+        target_fraction: 0.4,
+        mask_emotional: false,
+        ..Default::default()
+    };
+    let run_with = |threads: usize| {
+        with_threads(threads, || Experiment::new(config.clone()).unwrap().run().unwrap())
+    };
+    let single = run_with(1);
+    let multi = run_with(4);
+    assert_eq!(single.campaigns, multi.campaigns);
+    assert_eq!(single.total_targets, multi.total_targets);
+    assert_eq!(single.total_useful_impacts, multi.total_useful_impacts);
+    assert!(single.auc.to_bits() == multi.auc.to_bits(), "pooled AUC must match exactly");
+    assert!(
+        single.captured_at_40.to_bits() == multi.captured_at_40.to_bits(),
+        "gains curve must match exactly"
+    );
+    assert_eq!(single.gains.len(), multi.gains.len());
+    for (a, b) in single.gains.iter().zip(multi.gains.iter()) {
+        assert!(a.captured.to_bits() == b.captured.to_bits());
+    }
+}
+
+/// Campaign execution through the parallel `run_collect` matches the
+/// serial `run` path contact-for-contact (same users, scores, appeals
+/// and responses), and the collected payloads arrive in contact order.
+#[test]
+fn run_collect_matches_serial_run() {
+    let population =
+        Population::generate(PopulationConfig { n_users: 500, ..Default::default() }).unwrap();
+    let response = ResponseModel::new(ResponseConfig::default())
+        .calibrate_mixed(&population, 0.21, 0.2)
+        .unwrap();
+    let courses = CourseCatalog::generate(12, 4, 3).unwrap();
+    let spec = CampaignSpec {
+        id: CampaignId::new(9),
+        channel: Channel::Push,
+        target_size: 300,
+        course: courses.course(CourseId::new(2)).unwrap().clone(),
+        at: Timestamp::from_millis(1000),
+        seed: 0xBEEF,
+    };
+    let runner = CampaignRunner::new(&population, &response);
+
+    let spa_serial = Spa::new(&courses, SpaConfig::default());
+    let serial = runner.run(&spa_serial, &spec, |_, _, _| 0.5, |_, _, _| {}).unwrap();
+
+    for threads in [1usize, 4] {
+        let spa_par = Spa::new(&courses, SpaConfig::default());
+        let (parallel, users) = with_threads(threads, || {
+            runner.run_collect(&spa_par, &spec, |_, user, _| (0.5, user)).unwrap()
+        });
+        assert_eq!(serial.contacts, parallel.contacts, "contacts diverge at {threads} threads");
+        assert_eq!(serial.responses, parallel.responses);
+        let contact_users: Vec<UserId> = parallel.contacts.iter().map(|c| c.user).collect();
+        assert_eq!(users, contact_users, "payloads must arrive in contact order");
+    }
+}

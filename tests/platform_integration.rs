@@ -184,8 +184,7 @@ fn cf_baselines_run_on_the_synthetic_interaction_matrix() {
                 _ => None,
             };
             if let Some(c) = course {
-                *per_user.entry(event.user.raw()).or_default().entry(c.raw()).or_insert(0.0) +=
-                    1.0;
+                *per_user.entry(event.user.raw()).or_default().entry(c.raw()).or_insert(0.0) += 1.0;
             }
         },
     )
@@ -204,10 +203,10 @@ fn cf_baselines_run_on_the_synthetic_interaction_matrix() {
         matrix.push_row(&row).unwrap();
         user_row.push(id);
     }
-    let knn = spa::ml::knn::UserKnn::new(matrix.clone(), 10, spa::ml::knn::Similarity::Cosine)
-        .unwrap();
+    let knn =
+        spa::ml::knn::UserKnn::new(matrix.clone(), 10, spa::ml::knn::Similarity::Cosine).unwrap();
     // find an active user and check recommendations exclude seen items
-    let active = (0..matrix.rows()).max_by_key(|&r| matrix.row(r).0.len()).unwrap();
+    let active = (0..matrix.rows()).max_by_key(|&r| matrix.row(r).nnz()).unwrap();
     let recs = knn.recommend(active, 5).unwrap();
     let seen = matrix.row_vec(active);
     for (item, score) in recs {
