@@ -11,6 +11,7 @@
 //! | `dataset_synth` | §5.1 dataset generation |
 //! | `ablation_emotional` | E7 emotional-context ablation |
 //! | `substrates` | micro-benches of the SVM, sparse kernels, event log and profile store |
+//! | `sharded` | sharded vs single-platform ingest/scoring + durable-ingest/recovery costs |
 //!
 //! Each figure/table bench prints the regenerated artifact once during
 //! setup (so `cargo bench` reproduces the numbers reported in

@@ -32,7 +32,18 @@ impl BatchPipeline {
 
     /// Accumulates an observed outcome. Unlike SPA's incremental
     /// update, the model does *not* change until [`Self::retrain`].
+    ///
+    /// The feature row is schema-checked **here**: a row of the wrong
+    /// dimensionality is rejected at the entry point instead of
+    /// surfacing later as a confusing error out of the accumulated
+    /// dataset or the next retrain.
     pub fn record(&mut self, features: &SparseVec, responded: bool) -> Result<()> {
+        if features.dim() != self.dim {
+            return Err(spa_types::SpaError::DimensionMismatch {
+                got: features.dim(),
+                expected: self.dim,
+            });
+        }
         self.pending.push(features, if responded { 1.0 } else { -1.0 })
     }
 
@@ -111,5 +122,16 @@ mod tests {
     fn retrain_on_empty_history_fails() {
         let mut batch = BatchPipeline::new(3, SvmConfig::default());
         assert!(batch.retrain().is_err());
+    }
+
+    #[test]
+    fn record_rejects_mismatched_rows_at_the_entry_point() {
+        let mut batch = BatchPipeline::new(3, SvmConfig::default());
+        let wrong = SparseVec::from_pairs(7, [(0u32, 1.0)]).unwrap();
+        assert!(matches!(
+            batch.record(&wrong, true),
+            Err(spa_types::SpaError::DimensionMismatch { got: 7, expected: 3 })
+        ));
+        assert_eq!(batch.pending_len(), 0, "the rejected row must not be queued");
     }
 }

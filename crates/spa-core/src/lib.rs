@@ -30,7 +30,11 @@
 //! * [`values`] — the Intelligent User Interface's **Human Values
 //!   Scale** and coherence function (§4, component 5);
 //! * [`platform`] — the [`platform::Spa`] facade tying everything
-//!   together.
+//!   together;
+//! * [`shard`] — the horizontally sharded serving platform
+//!   ([`shard::ShardedSpa`]): N independent `Spa` shards keyed by a
+//!   stable user hash, with write-ahead durable ingest and
+//!   crash-recovery replay.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +48,7 @@ pub mod platform;
 pub mod preprocessor;
 pub mod recommend;
 pub mod selection;
+pub mod shard;
 pub mod sum;
 pub mod values;
 
@@ -51,4 +56,5 @@ pub use eit::{EitEngine, EitQuestion, QuestionBank};
 pub use messaging::{AssignedMessage, AssignmentCase, MessageCatalog, MessagePolicy};
 pub use platform::Spa;
 pub use selection::SelectionFunction;
+pub use shard::{RecoveryReport, ShardedSpa};
 pub use sum::{SmartUserModel, SumConfig, SumRegistry};

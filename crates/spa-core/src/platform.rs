@@ -196,9 +196,27 @@ impl Spa {
         Ok((user, self.selection.score(&row)?))
     }
 
+    /// Ranks users by propensity, descending (ties break by user id for
+    /// determinism) — [`Spa::score_users`] followed by the same sort as
+    /// [`SelectionFunction::rank`]. The single-platform reference for
+    /// [`crate::shard::ShardedSpa::rank`].
+    pub fn rank_users(&self, users: &[UserId]) -> Result<Vec<(UserId, f64)>> {
+        let mut scored = self.score_users(users)?;
+        SelectionFunction::sort_by_propensity(&mut scored);
+        Ok(scored)
+    }
+
     /// Incrementally folds one observed outcome into the selection
     /// function (SPA's incremental-learning mode).
+    ///
+    /// Errors with [`SpaError::UnknownUser`] when no model exists for
+    /// `user`: silently training on the all-zero advice row of a never-
+    /// seen user would corrupt the selection function with no signal to
+    /// the caller. Ingest at least one event first.
     pub fn observe_outcome(&mut self, user: UserId, responded: bool) -> Result<()> {
+        if self.registry.get(user).is_none() {
+            return Err(SpaError::UnknownUser(user));
+        }
         let row = self.advice_row(user)?;
         self.selection.partial_fit(&row, responded)
     }
@@ -366,6 +384,49 @@ mod tests {
         .unwrap();
         spa.observe_outcome(user, true).unwrap();
         assert!(spa.selection().is_trained());
+    }
+
+    #[test]
+    fn observe_outcome_for_an_unknown_user_is_an_explicit_error() {
+        let mut spa = platform();
+        let unknown = UserId::new(777);
+        assert!(matches!(
+            spa.observe_outcome(unknown, true),
+            Err(SpaError::UnknownUser(user)) if user == unknown
+        ));
+        assert!(!spa.selection().is_trained(), "the bad call must not touch the model");
+    }
+
+    #[test]
+    fn rank_users_orders_by_score_then_id() {
+        let mut spa = platform();
+        let users: Vec<UserId> = (0..20).map(UserId::new).collect();
+        for (i, &user) in users.iter().enumerate() {
+            let q = spa.next_eit_question(user);
+            spa.ingest(&LifeLogEvent::new(
+                user,
+                Timestamp::from_millis(i as u64),
+                EventKind::EitAnswer {
+                    question: q.id,
+                    answer: Valence::new((i as f64 / 20.0) * 2.0 - 1.0),
+                },
+            ))
+            .unwrap();
+        }
+        let mut data = Dataset::new(75);
+        for &user in &users {
+            let row = spa.advice_row(user).unwrap();
+            data.push(&row, if row.get(65) > 0.5 { 1.0 } else { -1.0 }).unwrap();
+        }
+        spa.train_selection(&data).unwrap();
+        let ranked = spa.rank_users(&users).unwrap();
+        assert_eq!(ranked.len(), users.len());
+        for pair in ranked.windows(2) {
+            assert!(
+                pair[0].1 > pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+                "descending by score, ties ascending by id"
+            );
+        }
     }
 
     #[test]

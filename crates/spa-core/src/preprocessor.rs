@@ -41,6 +41,18 @@ pub struct PreprocessorStats {
     pub opens: u64,
 }
 
+impl std::ops::AddAssign for PreprocessorStats {
+    /// Counter-wise sum, used to aggregate per-shard stats.
+    fn add_assign(&mut self, rhs: Self) {
+        self.actions += rhs.actions;
+        self.transactions += rhs.transactions;
+        self.eit_answers += rhs.eit_answers;
+        self.eit_skips += rhs.eit_skips;
+        self.deliveries += rhs.deliveries;
+        self.opens += rhs.opens;
+    }
+}
+
 /// Distills raw LifeLog events into Smart User Model updates.
 pub struct LifeLogPreprocessor {
     schema: AttributeSchema,

@@ -73,6 +73,17 @@ impl SelectionFunction {
         self.svm.decision_batch(data)
     }
 
+    /// Sorts scored users by propensity, descending; ties break by
+    /// ascending user id. The **single** ranking comparator shared by
+    /// every surface ([`SelectionFunction::rank`], `Spa::rank_users`,
+    /// the sharded merge) — the bit-identical sharded-vs-single ranking
+    /// guarantee depends on there being exactly one.
+    pub fn sort_by_propensity(scored: &mut [(UserId, f64)]) {
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+    }
+
     /// Ranks an audience by propensity, descending. Ties break by user
     /// id for determinism. Scoring fans out across threads for large
     /// audiences (`parallel` feature); the ranking is identical to the
@@ -80,9 +91,7 @@ impl SelectionFunction {
     /// before the sort.
     pub fn rank(&self, audience: &[(UserId, SparseVec)]) -> Result<Vec<(UserId, f64)>> {
         let mut scored = self.score_audience(audience)?;
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-        });
+        Self::sort_by_propensity(&mut scored);
         Ok(scored)
     }
 

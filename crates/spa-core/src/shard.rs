@@ -1,0 +1,638 @@
+//! Horizontally sharded serving platform.
+//!
+//! One [`Spa`] holds the whole population in a single in-memory state.
+//! [`ShardedSpa`] partitions users across N independent `Spa` shards by
+//! a **stable hash** of their [`UserId`] (FNV-1a, so the user → shard
+//! assignment never changes across runs, platforms or restarts), which
+//! is the horizontal-scaling shape the paper's deployment implies:
+//! WebLogs arrive at ≈50 GB/month and campaigns score millions of users
+//! (§4–§5), far past what one lock domain should absorb.
+//!
+//! Design invariants, enforced by `tests/shard_equivalence.rs`:
+//!
+//! * **Per-user state is shard-local.** Every SUM, EIT schedule and
+//!   advice row a user owns lives on exactly one shard, so routing an
+//!   identical event stream through any shard count produces
+//!   bit-identical per-user state — order across *different* users only
+//!   touches commutative aggregates (stat counters).
+//! * **The selection model is global.** Campaign propensity is one
+//!   model for the whole population; [`ShardedSpa`] owns a single
+//!   [`SelectionFunction`] trained once, not N drifting replicas (the
+//!   per-shard `Spa` selection functions stay dormant).
+//! * **Cross-shard reads merge in deterministic index order.**
+//!   [`ShardedSpa::score_users`] scores each shard's slice of the
+//!   audience (fanned out across threads under the `parallel` feature)
+//!   and scatters results back into *input* order;
+//!   [`ShardedSpa::rank`] sorts the merged scores with the same
+//!   comparator as [`SelectionFunction::rank`]. Both are bit-identical
+//!   to a single-`Spa` evaluation at any thread count.
+//! * **Ingest is write-ahead durable.** With a [`ShardedEventLog`]
+//!   attached, every event is appended to its shard's segmented log
+//!   *before* it mutates in-memory state, so
+//!   [`ShardedSpa::recover`] can rebuild the exact platform state by
+//!   replaying segments — tolerating a torn tail write in each shard's
+//!   last segment (the crash-during-append signature).
+
+use crate::platform::{Spa, SpaConfig};
+use crate::preprocessor::PreprocessorStats;
+use crate::selection::SelectionFunction;
+use spa_linalg::SparseVec;
+use spa_ml::Dataset;
+use spa_store::log::LogConfig;
+use spa_store::{ShardedEventLog, TornTail};
+use spa_synth::catalog::CourseCatalog;
+use spa_types::{
+    AttributeSchema, CampaignId, EmotionalAttribute, LifeLogEvent, Result, ShardId, SpaError,
+    UserId,
+};
+use std::path::Path;
+
+/// Stable user → shard assignment: FNV-1a over the id's little-endian
+/// bytes, reduced modulo the shard count. Deterministic across runs,
+/// platforms and process restarts — a prerequisite for replaying
+/// per-shard logs back onto the shard that wrote them.
+pub fn shard_index(user: UserId, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut h: u32 = 0x811c_9dc5;
+    for b in user.raw().to_le_bytes() {
+        h = (h ^ b as u32).wrapping_mul(0x0100_0193);
+    }
+    h as usize % shards
+}
+
+/// What [`ShardedSpa::recover`] found while replaying per-shard logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Events replayed and applied per shard (index = shard id).
+    pub events_replayed: Vec<u64>,
+    /// Intact logged events the platform rejected on replay, per shard
+    /// (it rejected them identically at live ingest time, so they never
+    /// contributed state; see [`ShardedSpa::recover`]).
+    pub events_skipped: Vec<u64>,
+    /// Torn tail found (and truncated) per shard, if any.
+    pub torn_tails: Vec<Option<TornTail>>,
+}
+
+impl RecoveryReport {
+    /// Total events replayed and applied across all shards.
+    pub fn total_events(&self) -> u64 {
+        self.events_replayed.iter().sum()
+    }
+
+    /// Total logged events rejected on replay across all shards.
+    pub fn total_skipped(&self) -> u64 {
+        self.events_skipped.iter().sum()
+    }
+
+    /// Number of shards whose last segment ended mid-frame.
+    pub fn torn_shards(&self) -> usize {
+        self.torn_tails.iter().filter(|t| t.is_some()).count()
+    }
+}
+
+/// N independent [`Spa`] shards behind one facade, with optional
+/// write-ahead durability through a per-shard [`ShardedEventLog`].
+pub struct ShardedSpa {
+    shards: Vec<Spa>,
+    selection: SelectionFunction,
+    log: Option<ShardedEventLog>,
+}
+
+impl ShardedSpa {
+    /// Builds an ephemeral (no durability) sharded platform.
+    pub fn new(courses: &CourseCatalog, config: SpaConfig, shards: usize) -> Result<Self> {
+        if shards == 0 {
+            return Err(SpaError::Invalid("shard count must be at least 1".into()));
+        }
+        let schema = AttributeSchema::emagister();
+        let selection = SelectionFunction::with_imbalance(schema.len(), config.positive_weight);
+        let shards = (0..shards).map(|_| Spa::new(courses, config.clone())).collect();
+        Ok(Self { shards, selection, log: None })
+    }
+
+    /// Builds a sharded platform whose ingest is write-ahead logged to
+    /// per-shard segment files under `root` (creating the directory
+    /// layout and manifest on first use; reopening an existing root
+    /// continues its logs and insists on the same shard count).
+    pub fn with_log(
+        courses: &CourseCatalog,
+        config: SpaConfig,
+        shards: usize,
+        root: impl AsRef<Path>,
+        log_config: LogConfig,
+    ) -> Result<Self> {
+        let mut sharded = Self::new(courses, config, shards)?;
+        sharded.log = Some(ShardedEventLog::open(root.as_ref(), shards, log_config)?);
+        Ok(sharded)
+    }
+
+    /// Rebuilds a sharded platform from its per-shard logs after a
+    /// crash: reads the shard count from the root manifest, replays
+    /// every intact event of every shard (truncating torn tail writes
+    /// so appends resume on a clean frame boundary), and reattaches the
+    /// logs for continued ingest.
+    ///
+    /// Two things are configuration, not logged events, and must be
+    /// re-supplied by the caller:
+    ///
+    /// * `campaigns` — campaign → appeal registrations, active from the
+    ///   *start* of replay. Replayed `MessageOpened` / attributed
+    ///   `Transaction` events re-apply their rewards only for campaigns
+    ///   registered before replay; conversely, a campaign that was only
+    ///   registered midway through the live stream will now reward its
+    ///   earlier events too. Register campaigns at platform bring-up
+    ///   (before ingest), as [`ShardedSpa::with_log`] users naturally
+    ///   do, and recovery is exact.
+    /// * the [`SelectionFunction`] — it derives from labelled campaign
+    ///   history, so retrain it (or re-observe outcomes) afterwards.
+    ///
+    /// A logged event the in-memory platform *rejects* (e.g. an
+    /// `EitAnswer` naming a question id outside the bank) is rejected
+    /// identically on replay — it never mutated live state, so it is
+    /// skipped and counted in [`RecoveryReport::events_skipped`] rather
+    /// than poisoning every future recovery of the log.
+    pub fn recover(
+        courses: &CourseCatalog,
+        config: SpaConfig,
+        campaigns: &[(CampaignId, Vec<EmotionalAttribute>)],
+        root: impl AsRef<Path>,
+        log_config: LogConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let root = root.as_ref();
+        let shards = ShardedEventLog::manifest_shards(root)?;
+        let mut sharded = Self::new(courses, config, shards)?;
+        for (campaign, appeal) in campaigns {
+            sharded.register_campaign(*campaign, appeal);
+        }
+        // each shard replays independently (its own segments, its own
+        // Spa), streaming one segment at a time — a shard's history
+        // never sits in memory whole — and fans out across threads
+        // under the `parallel` feature, like every multi-shard path
+        let replay_shard = |index: usize| -> Result<(u64, u64, Option<TornTail>)> {
+            let spa = &sharded.shards[index];
+            let dir = ShardedEventLog::shard_path(root, ShardId::new(index as u32));
+            let mut iter = spa_store::EventLog::replay_iter(&dir)?;
+            let mut applied = 0u64;
+            let mut skipped = 0u64;
+            for event in iter.by_ref() {
+                // mid-log corruption is still a loud error
+                if spa.ingest(&event?).is_ok() {
+                    applied += 1;
+                } else {
+                    skipped += 1;
+                }
+            }
+            let torn = iter.torn_tail();
+            if let Some(torn) = &torn {
+                spa_store::EventLog::truncate_torn_tail(&dir, torn)?;
+            }
+            Ok((applied, skipped, torn))
+        };
+        let outcomes: Vec<Result<(u64, u64, Option<TornTail>)>>;
+        #[cfg(feature = "parallel")]
+        {
+            outcomes = if shards > 1 && rayon::current_num_threads() > 1 {
+                use rayon::prelude::*;
+                (0..shards).into_par_iter().map(replay_shard).collect()
+            } else {
+                (0..shards).map(replay_shard).collect()
+            };
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            outcomes = (0..shards).map(replay_shard).collect();
+        }
+        let mut events_replayed = Vec::with_capacity(shards);
+        let mut events_skipped = Vec::with_capacity(shards);
+        let mut torn_tails = Vec::with_capacity(shards);
+        for outcome in outcomes {
+            let (applied, skipped, torn) = outcome?;
+            events_replayed.push(applied);
+            events_skipped.push(skipped);
+            torn_tails.push(torn);
+        }
+        sharded.log = Some(ShardedEventLog::open_existing(root, log_config)?);
+        Ok((sharded, RecoveryReport { events_replayed, events_skipped, torn_tails }))
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a user lives on.
+    pub fn shard_of(&self, user: UserId) -> ShardId {
+        ShardId::new(shard_index(user, self.shards.len()) as u32)
+    }
+
+    /// Direct access to one shard's platform.
+    pub fn shard(&self, shard: ShardId) -> &Spa {
+        &self.shards[shard.index()]
+    }
+
+    /// The attached write-ahead log set, when durable.
+    pub fn log(&self) -> Option<&ShardedEventLog> {
+        self.log.as_ref()
+    }
+
+    /// The global selection function (one model for the whole
+    /// population; per-shard selection functions stay dormant).
+    pub fn selection(&self) -> &SelectionFunction {
+        &self.selection
+    }
+
+    fn owner(&self, user: UserId) -> &Spa {
+        &self.shards[shard_index(user, self.shards.len())]
+    }
+
+    /// Ingests one raw LifeLog event: appended to the owning shard's
+    /// log first (write-ahead), then applied to its in-memory state.
+    pub fn ingest(&self, event: &LifeLogEvent) -> Result<()> {
+        let shard = self.shard_of(event.user);
+        if let Some(log) = &self.log {
+            log.append(shard, event)?;
+        }
+        self.shards[shard.index()].ingest(event)
+    }
+
+    /// Ingests a batch: events are routed to their shards (preserving
+    /// per-shard arrival order), write-ahead logged per shard, then
+    /// applied — fanned out across threads under the `parallel`
+    /// feature. Returns how many events were applied.
+    ///
+    /// Each event is applied independently: one the platform rejects
+    /// (e.g. an `EitAnswer` naming a question outside the bank) is
+    /// skipped — excluded from the returned count — and the rest of the
+    /// batch still lands. This mirrors replay exactly (a rejected event
+    /// is rejected identically during [`ShardedSpa::recover`]), so a
+    /// recovered platform always equals the live one; an abort-on-first-
+    /// error batch would leave its durably logged tail applied on
+    /// replay but not live. Errors surface only from the write-ahead
+    /// log itself (I/O).
+    ///
+    /// A WAL I/O error is returned before anything is applied in
+    /// memory, but some shards' sub-batches may already be durably
+    /// logged. Treat it as fatal: rebuild through
+    /// [`ShardedSpa::recover`] (which applies the logged prefix) rather
+    /// than retrying the batch — a retry would log those events twice
+    /// and every future replay would double-count them.
+    pub fn ingest_batch<'a>(
+        &self,
+        events: impl IntoIterator<Item = &'a LifeLogEvent>,
+    ) -> Result<usize> {
+        let mut by_shard: Vec<Vec<&LifeLogEvent>> = vec![Vec::new(); self.shards.len()];
+        for event in events {
+            by_shard[shard_index(event.user, self.shards.len())].push(event);
+        }
+        for (index, batch) in by_shard.iter().enumerate() {
+            if let (Some(log), false) = (&self.log, batch.is_empty()) {
+                log.append_batch(ShardId::new(index as u32), batch.iter().copied())?;
+            }
+        }
+        let apply = |index: usize| -> usize {
+            by_shard[index].iter().filter(|event| self.shards[index].ingest(event).is_ok()).count()
+        };
+        let counts: Vec<usize>;
+        #[cfg(feature = "parallel")]
+        {
+            counts = if self.shards.len() > 1 && rayon::current_num_threads() > 1 {
+                use rayon::prelude::*;
+                (0..self.shards.len()).into_par_iter().map(apply).collect()
+            } else {
+                (0..self.shards.len()).map(apply).collect()
+            };
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            counts = (0..self.shards.len()).map(apply).collect();
+        }
+        Ok(counts.into_iter().sum())
+    }
+
+    /// Flushes every shard's log to the OS (and disk when `fsync`).
+    pub fn flush(&self) -> Result<()> {
+        match &self.log {
+            Some(log) => log.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Aggregate pre-processing counters across shards. Counters are
+    /// sums, so the aggregate equals a single-`Spa` run over the same
+    /// stream regardless of how users hash.
+    pub fn stats(&self) -> PreprocessorStats {
+        let mut total = PreprocessorStats::default();
+        for shard in &self.shards {
+            total += shard.stats();
+        }
+        total
+    }
+
+    /// The next Gradual-EIT question for a user (shard-local schedule,
+    /// identical to the single-platform schedule for the same per-user
+    /// history).
+    pub fn next_eit_question(&self, user: UserId) -> crate::eit::EitQuestion {
+        self.owner(user).next_eit_question(user)
+    }
+
+    /// Imports socio-demographic attributes for a user (routed).
+    pub fn import_objective(&self, user: UserId, values: &[f64]) -> Result<()> {
+        self.owner(user).import_objective(user, values)
+    }
+
+    /// Plain observed feature row (routed; empty row for unknowns).
+    pub fn feature_row(&self, user: UserId) -> SparseVec {
+        self.owner(user).feature_row(user)
+    }
+
+    /// Advice-stage feature row (routed).
+    pub fn advice_row(&self, user: UserId) -> Result<SparseVec> {
+        self.owner(user).advice_row(user)
+    }
+
+    /// Trains the global selection function on labelled campaign
+    /// history.
+    pub fn train_selection(&mut self, data: &Dataset) -> Result<()> {
+        self.selection.fit(data)
+    }
+
+    /// Incrementally folds one observed outcome into the global
+    /// selection function. Requires an existing user model — see
+    /// [`Spa::observe_outcome`].
+    pub fn observe_outcome(&mut self, user: UserId, responded: bool) -> Result<()> {
+        let owner = &self.shards[shard_index(user, self.shards.len())];
+        if owner.registry().get(user).is_none() {
+            return Err(SpaError::UnknownUser(user));
+        }
+        let row = owner.advice_row(user)?;
+        self.selection.partial_fit(&row, responded)
+    }
+
+    /// Batch propensity scoring in **input order**: each shard scores
+    /// its slice of the audience (in parallel under the `parallel`
+    /// feature), then results scatter back to the caller's order.
+    /// Bit-identical to [`Spa::score_users`] over the same stream and
+    /// training data, at any shard count and thread count.
+    pub fn score_users(&self, users: &[UserId]) -> Result<Vec<(UserId, f64)>> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (position, &user) in users.iter().enumerate() {
+            by_shard[shard_index(user, self.shards.len())].push(position);
+        }
+        let score_shard = |index: usize| -> Result<Vec<(usize, f64)>> {
+            by_shard[index]
+                .iter()
+                .map(|&position| {
+                    let row = self.shards[index].advice_row(users[position])?;
+                    Ok((position, self.selection.score(&row)?))
+                })
+                .collect()
+        };
+        let per_shard: Vec<Result<Vec<(usize, f64)>>>;
+        #[cfg(feature = "parallel")]
+        {
+            per_shard = if self.shards.len() > 1
+                && users.len() >= spa_ml::PARALLEL_BATCH_THRESHOLD
+                && rayon::current_num_threads() > 1
+            {
+                use rayon::prelude::*;
+                (0..self.shards.len()).into_par_iter().map(score_shard).collect()
+            } else {
+                (0..self.shards.len()).map(score_shard).collect()
+            };
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            per_shard = (0..self.shards.len()).map(score_shard).collect();
+        }
+        let mut out: Vec<Option<(UserId, f64)>> = vec![None; users.len()];
+        for scored in per_shard {
+            for (position, score) in scored? {
+                out[position] = Some((users[position], score));
+            }
+        }
+        Ok(out.into_iter().map(|slot| slot.expect("every input position scored once")).collect())
+    }
+
+    /// Ranks an audience by propensity, descending (ties break by user
+    /// id): per-shard scores merged under the one shared comparator
+    /// ([`SelectionFunction::sort_by_propensity`]), so the result is
+    /// identical to a single-platform ranking.
+    pub fn rank(&self, users: &[UserId]) -> Result<Vec<(UserId, f64)>> {
+        let mut scored = self.score_users(users)?;
+        SelectionFunction::sort_by_propensity(&mut scored);
+        Ok(scored)
+    }
+
+    /// Registers a campaign's appeal attributes on **every** shard (any
+    /// user, on any shard, may open its messages).
+    pub fn register_campaign(&self, campaign: CampaignId, appeal: &[EmotionalAttribute]) {
+        for shard in &self.shards {
+            shard.register_campaign(campaign, appeal);
+        }
+    }
+
+    /// Punishes a campaign's appeal attributes for a user who ignored
+    /// its message (routed to the owning shard).
+    pub fn punish_ignored(&self, user: UserId, campaign: CampaignId) {
+        self.owner(user).punish_ignored(user, campaign);
+    }
+
+    /// Assigns the individualized message for a user (routed).
+    pub fn assign_message(
+        &self,
+        user: UserId,
+        appeal: &[EmotionalAttribute],
+    ) -> Result<crate::messaging::AssignedMessage> {
+        self.owner(user).assign_message(user, appeal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spa_types::{EventKind, Timestamp, Valence};
+
+    fn courses() -> CourseCatalog {
+        CourseCatalog::generate(25, 5, 3).unwrap()
+    }
+
+    fn eit_event(spa: &ShardedSpa, user: UserId, at: u64, value: f64) -> LifeLogEvent {
+        let question = spa.next_eit_question(user).id;
+        LifeLogEvent::new(
+            user,
+            Timestamp::from_millis(at),
+            EventKind::EitAnswer { question, answer: Valence::new(value) },
+        )
+    }
+
+    #[test]
+    fn hashing_is_stable_and_total() {
+        for shards in [1usize, 2, 7, 16] {
+            for raw in 0..1000u32 {
+                let user = UserId::new(raw);
+                let a = shard_index(user, shards);
+                assert_eq!(a, shard_index(user, shards), "assignment must be deterministic");
+                assert!(a < shards);
+            }
+        }
+        // FNV-1a anchor so the on-disk assignment can never silently
+        // change: shard_index(u0, 16) is pinned forever.
+        assert_eq!(shard_index(UserId::new(0), 16), 5);
+        assert_eq!(shard_index(UserId::new(1), 16), 4);
+    }
+
+    #[test]
+    fn hashing_spreads_users_across_shards() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for raw in 0..8000u32 {
+            counts[shard_index(UserId::new(raw), shards)] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                (700..1300).contains(&count),
+                "shard {shard} holds {count} of 8000 users — hash is badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_invalid() {
+        assert!(ShardedSpa::new(&courses(), SpaConfig::default(), 0).is_err());
+    }
+
+    #[test]
+    fn ingest_routes_to_the_owning_shard() {
+        let sharded = ShardedSpa::new(&courses(), SpaConfig::default(), 4).unwrap();
+        let user = UserId::new(17);
+        let event = eit_event(&sharded, user, 0, 0.8);
+        sharded.ingest(&event).unwrap();
+        let owner = sharded.shard_of(user);
+        assert!(sharded.shard(owner).registry().get(user).is_some());
+        for index in 0..4u32 {
+            let shard = ShardId::new(index);
+            if shard != owner {
+                assert!(sharded.shard(shard).registry().get(user).is_none());
+            }
+        }
+        assert!(sharded.feature_row(user).nnz() > 0);
+    }
+
+    #[test]
+    fn batch_ingest_counts_and_aggregates_stats() {
+        let sharded = ShardedSpa::new(&courses(), SpaConfig::default(), 3).unwrap();
+        let events: Vec<LifeLogEvent> =
+            (0..60u32).map(|i| eit_event(&sharded, UserId::new(i), i as u64, 0.4)).collect();
+        assert_eq!(sharded.ingest_batch(events.iter()).unwrap(), 60);
+        assert_eq!(sharded.stats().eit_answers, 60);
+    }
+
+    #[test]
+    fn observe_outcome_requires_a_known_user() {
+        let mut sharded = ShardedSpa::new(&courses(), SpaConfig::default(), 2).unwrap();
+        let unknown = UserId::new(404);
+        assert!(matches!(
+            sharded.observe_outcome(unknown, true),
+            Err(SpaError::UnknownUser(user)) if user == unknown
+        ));
+        let known = UserId::new(1);
+        let event = eit_event(&sharded, known, 0, 0.9);
+        sharded.ingest(&event).unwrap();
+        sharded.observe_outcome(known, true).unwrap();
+        assert!(sharded.selection().is_trained());
+    }
+
+    #[test]
+    fn rejected_events_do_not_poison_recovery() {
+        let root = std::env::temp_dir().join(format!("spa-shard-poison-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let user = UserId::new(9);
+        {
+            let sharded = ShardedSpa::with_log(
+                &courses(),
+                SpaConfig::default(),
+                2,
+                &root,
+                LogConfig::default(),
+            )
+            .unwrap();
+            let good = eit_event(&sharded, user, 0, 0.6);
+            sharded.ingest(&good).unwrap();
+            // an answer naming a question outside the bank: the WAL
+            // append succeeds, the in-memory apply is rejected
+            let bad = LifeLogEvent::new(
+                user,
+                Timestamp::from_millis(1),
+                EventKind::EitAnswer {
+                    question: spa_types::QuestionId::new(999),
+                    answer: Valence::new(0.5),
+                },
+            );
+            assert!(sharded.ingest(&bad).is_err());
+            // ingest keeps working after the rejection
+            let good2 = eit_event(&sharded, user, 2, 0.6);
+            sharded.ingest(&good2).unwrap();
+            // a rejected event inside a batch is skipped, the rest of
+            // the batch still lands — live behavior matches replay
+            let good3 = eit_event(&sharded, user, 3, 0.6);
+            let bad2 = LifeLogEvent::new(
+                user,
+                Timestamp::from_millis(4),
+                EventKind::EitAnswer {
+                    question: spa_types::QuestionId::new(998),
+                    answer: Valence::new(0.5),
+                },
+            );
+            let good4 = eit_event(&sharded, user, 5, 0.6);
+            assert_eq!(sharded.ingest_batch([&good3, &bad2, &good4]).unwrap(), 2);
+            assert_eq!(sharded.stats().eit_answers, 4);
+            sharded.flush().unwrap();
+        }
+        // the durably-logged rejected events must not make recovery
+        // fail forever — they are skipped, exactly as they were live
+        let (recovered, report) =
+            ShardedSpa::recover(&courses(), SpaConfig::default(), &[], &root, LogConfig::default())
+                .unwrap();
+        assert_eq!(report.total_events(), 4);
+        assert_eq!(report.total_skipped(), 2);
+        assert_eq!(recovered.stats().eit_answers, 4);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn recovery_roundtrip_restores_state() {
+        let root = std::env::temp_dir().join(format!("spa-shard-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let user = UserId::new(5);
+        let stats_before;
+        let row_before;
+        {
+            let sharded = ShardedSpa::with_log(
+                &courses(),
+                SpaConfig::default(),
+                3,
+                &root,
+                LogConfig::default(),
+            )
+            .unwrap();
+            for round in 0..8 {
+                let event = eit_event(&sharded, user, round, 0.7);
+                sharded.ingest(&event).unwrap();
+            }
+            sharded.flush().unwrap();
+            stats_before = sharded.stats();
+            row_before = sharded.feature_row(user);
+        } // "crash": everything in memory is dropped
+        let (recovered, report) =
+            ShardedSpa::recover(&courses(), SpaConfig::default(), &[], &root, LogConfig::default())
+                .unwrap();
+        assert_eq!(recovered.shard_count(), 3);
+        assert_eq!(report.total_events(), 8);
+        assert_eq!(report.torn_shards(), 0);
+        assert_eq!(recovered.stats(), stats_before);
+        let row_after = recovered.feature_row(user);
+        assert_eq!(row_after.indices(), row_before.indices());
+        assert_eq!(row_after.values(), row_before.values());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -313,6 +313,41 @@ mod tests {
         assert!(matches!(decode_frame(&bytes), Err(SpaError::Corrupt(_))));
     }
 
+    /// The CRC safety property, exhaustively: flip every single bit of
+    /// every byte of every event kind's frame — the decoder must never
+    /// silently hand back an event. (A flip in the length field may
+    /// legitimately read as an incomplete frame; a flip anywhere else
+    /// must be a loud checksum/decode error. "Decoded fine" is the one
+    /// outcome that is never acceptable.)
+    #[test]
+    fn every_flipped_bit_is_never_silently_decoded() {
+        for event in sample_events() {
+            let mut buf = BytesMut::new();
+            encode_frame(&event, &mut buf);
+            let clean = buf.to_vec();
+            for position in 0..clean.len() {
+                for bit in 0..8u8 {
+                    let mut corrupted = clean.clone();
+                    corrupted[position] ^= 1 << bit;
+                    match decode_frame(&corrupted) {
+                        Ok(FrameRead::Event(decoded, _)) => panic!(
+                            "flipping bit {bit} of byte {position} in a {} frame silently \
+                             decoded as {decoded:?}",
+                            event.kind.tag()
+                        ),
+                        Ok(FrameRead::Incomplete) => assert!(
+                            position < 4,
+                            "only a length-field flip may read as incomplete \
+                             (byte {position}, bit {bit})"
+                        ),
+                        Err(SpaError::Corrupt(_)) => {}
+                        Err(e) => panic!("unexpected error kind: {e}"),
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn absurd_length_is_corruption() {
         let mut bytes = vec![0u8; 16];

@@ -15,6 +15,8 @@
 //!   save/load;
 //! * [`index`] — a secondary **sensibility index** (attribute → users
 //!   above a threshold) used by the Attributes Manager;
+//! * [`shard_log`] — **per-shard** event-log handles under one root
+//!   directory with a manifest, backing the sharded serving platform;
 //! * [`csv`] — plain-text import/export for datasets and reports.
 
 #![forbid(unsafe_code)]
@@ -25,7 +27,9 @@ pub mod csv;
 pub mod index;
 pub mod log;
 pub mod profile;
+pub mod shard_log;
 
 pub use index::SensibilityIndex;
-pub use log::{EventLog, LogStats};
+pub use log::{EventLog, LogStats, ReplayIter, ReplayOutcome, TornTail};
 pub use profile::{ProfileStore, UserProfile};
+pub use shard_log::ShardedEventLog;

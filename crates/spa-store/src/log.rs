@@ -43,6 +43,31 @@ pub struct LogStats {
     pub events_appended: u64,
 }
 
+/// Where a replay found the final segment cut off mid-frame — the
+/// signature of a crash during an append. Everything before `offset`
+/// decoded cleanly; the bytes from `offset` to the end of the segment
+/// are an unfinished frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// Index of the (last) segment holding the partial frame.
+    pub segment: u64,
+    /// Byte offset of the first torn byte within that segment.
+    pub offset: u64,
+    /// How many trailing bytes the partial frame occupies.
+    pub bytes_dropped: u64,
+}
+
+/// Result of a replay: the intact events plus whether (and where) the
+/// tail was torn. [`EventLog::replay`] discards this detail; recovery
+/// paths ([`EventLog::open_recover`]) act on it.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Every fully framed, checksum-valid event, in append order.
+    pub events: Vec<LifeLogEvent>,
+    /// `Some` when the final segment ended mid-frame.
+    pub torn_tail: Option<TornTail>,
+}
+
 struct Writer {
     file: BufWriter<File>,
     segment_index: u64,
@@ -62,6 +87,31 @@ pub struct EventLog {
 
 fn segment_path(dir: &Path, index: u64) -> PathBuf {
     dir.join(format!("segment-{index:010}.log"))
+}
+
+/// Frame-walks one segment file and returns its clean length. A
+/// partial frame at the tail is truncated off (the crash-during-append
+/// signature); an invalid frame anywhere earlier is loud corruption.
+fn heal_segment_tail(path: &Path) -> Result<u64> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    let mut offset = 0usize;
+    while offset < buf.len() {
+        match decode_frame(&buf[offset..]) {
+            Ok(FrameRead::Event(_, consumed)) => offset += consumed,
+            Ok(FrameRead::Incomplete) => {
+                OpenOptions::new().write(true).open(path)?.set_len(offset as u64)?;
+                return Ok(offset as u64);
+            }
+            Err(e) => {
+                return Err(SpaError::Corrupt(format!(
+                    "segment {} offset {offset}: {e}",
+                    path.display()
+                )))
+            }
+        }
+    }
+    Ok(buf.len() as u64)
 }
 
 fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
@@ -85,12 +135,18 @@ fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
 impl EventLog {
     /// Opens (creating if needed) a log in `dir`. Appends continue into
     /// the highest existing segment.
+    ///
+    /// The active segment is frame-walked first: a torn partial frame
+    /// at its tail (crash during an append) is truncated away, so new
+    /// appends never bury garbage mid-segment where replay would
+    /// mistake it for corruption. A checksum-invalid frame earlier in
+    /// the segment is a loud [`SpaError::Corrupt`] instead.
     pub fn open(dir: impl Into<PathBuf>, config: LogConfig) -> Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let segments = list_segments(&dir)?;
         let (segment_index, existing_bytes) = match segments.last() {
-            Some((idx, path)) => (*idx, fs::metadata(path)?.len()),
+            Some((idx, path)) => (*idx, heal_segment_tail(path)?),
             None => (0, 0),
         };
         let file =
@@ -193,45 +249,158 @@ impl EventLog {
     /// a torn tail in the *last* segment (crash recovery semantics) but
     /// failing loudly on mid-log corruption.
     pub fn replay(&self) -> Result<Vec<LifeLogEvent>> {
+        Ok(self.replay_report()?.events)
+    }
+
+    /// Like [`EventLog::replay`], but also reports whether the tail was
+    /// torn (and where), instead of discarding that information.
+    pub fn replay_report(&self) -> Result<ReplayOutcome> {
         self.flush()?;
-        Self::replay_dir(&self.dir)
+        Self::replay_dir_report(&self.dir)
     }
 
     /// Replays a log directory without an open writer.
     pub fn replay_dir(dir: impl AsRef<Path>) -> Result<Vec<LifeLogEvent>> {
-        let segments = list_segments(dir.as_ref())?;
+        Ok(Self::replay_dir_report(dir)?.events)
+    }
+
+    /// Replays a log directory without an open writer, surfacing the
+    /// torn-tail detail.
+    pub fn replay_dir_report(dir: impl AsRef<Path>) -> Result<ReplayOutcome> {
+        let mut iter = Self::replay_iter(dir)?;
         let mut events = Vec::new();
-        let last = segments.len().saturating_sub(1);
-        for (seg_pos, (_, path)) in segments.iter().enumerate() {
-            let mut buf = Vec::new();
-            File::open(path)?.read_to_end(&mut buf)?;
-            let mut offset = 0usize;
-            while offset < buf.len() {
-                match decode_frame(&buf[offset..]) {
+        for event in iter.by_ref() {
+            events.push(event?);
+        }
+        Ok(ReplayOutcome { events, torn_tail: iter.torn_tail() })
+    }
+
+    /// Streaming replay over a log directory: yields one intact event at
+    /// a time (one segment buffered at a time, not the whole log). After
+    /// exhaustion, [`ReplayIter::torn_tail`] reports a partial final
+    /// frame if the log ends mid-write.
+    pub fn replay_iter(dir: impl AsRef<Path>) -> Result<ReplayIter> {
+        Ok(ReplayIter {
+            segments: list_segments(dir.as_ref())?,
+            seg_pos: 0,
+            buf: Vec::new(),
+            offset: 0,
+            loaded: false,
+            torn_tail: None,
+            failed: false,
+        })
+    }
+
+    /// Opens a log for appending *after a crash*: replays what survives,
+    /// truncates a torn final frame (so subsequent appends start on a
+    /// clean frame boundary instead of burying garbage mid-segment), and
+    /// returns the writable log together with the replay outcome.
+    /// Mid-log corruption is still a loud error.
+    pub fn open_recover(
+        dir: impl Into<PathBuf>,
+        config: LogConfig,
+    ) -> Result<(Self, ReplayOutcome)> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let outcome = Self::replay_dir_report(&dir)?;
+        if let Some(torn) = outcome.torn_tail {
+            Self::truncate_torn_tail(&dir, &torn)?;
+        }
+        let log = Self::open(dir, config)?;
+        Ok((log, outcome))
+    }
+
+    /// Truncates the partial final frame a replay reported
+    /// ([`ReplayIter::torn_tail`] / [`ReplayOutcome::torn_tail`]) off
+    /// its segment file, so subsequent appends resume on a clean frame
+    /// boundary. Streaming counterpart of [`EventLog::open_recover`].
+    pub fn truncate_torn_tail(dir: impl AsRef<Path>, torn: &TornTail) -> Result<()> {
+        let path = segment_path(dir.as_ref(), torn.segment);
+        OpenOptions::new().write(true).open(&path)?.set_len(torn.offset)?;
+        Ok(())
+    }
+}
+
+/// Streaming iterator over the intact events of a log directory (see
+/// [`EventLog::replay_iter`]). Yields `Err` once — on mid-log
+/// truncation, a bad checksum or I/O failure — and then terminates.
+pub struct ReplayIter {
+    segments: Vec<(u64, PathBuf)>,
+    seg_pos: usize,
+    buf: Vec<u8>,
+    offset: usize,
+    loaded: bool,
+    torn_tail: Option<TornTail>,
+    failed: bool,
+}
+
+impl ReplayIter {
+    /// After the iterator is exhausted: where the final segment was cut
+    /// off mid-frame, if it was. `None` while events remain.
+    pub fn torn_tail(&self) -> Option<TornTail> {
+        self.torn_tail
+    }
+
+    fn fail(&mut self, msg: String) -> Option<Result<LifeLogEvent>> {
+        self.failed = true;
+        Some(Err(SpaError::Corrupt(msg)))
+    }
+}
+
+impl Iterator for ReplayIter {
+    type Item = Result<LifeLogEvent>;
+
+    fn next(&mut self) -> Option<Result<LifeLogEvent>> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if !self.loaded {
+                let (_, path) = self.segments.get(self.seg_pos)?;
+                self.buf.clear();
+                if let Err(e) = File::open(path).and_then(|mut f| f.read_to_end(&mut self.buf)) {
+                    self.failed = true;
+                    return Some(Err(e.into()));
+                }
+                self.offset = 0;
+                self.loaded = true;
+            }
+            let (index, path) = &self.segments[self.seg_pos];
+            let last = self.seg_pos + 1 == self.segments.len();
+            if self.offset < self.buf.len() {
+                match decode_frame(&self.buf[self.offset..]) {
                     Ok(FrameRead::Event(event, consumed)) => {
-                        events.push(event);
-                        offset += consumed;
+                        self.offset += consumed;
+                        return Some(Ok(event));
+                    }
+                    Ok(FrameRead::Incomplete) if last => {
+                        // torn tail write — recoverable, end of replay
+                        self.torn_tail = Some(TornTail {
+                            segment: *index,
+                            offset: self.offset as u64,
+                            bytes_dropped: (self.buf.len() - self.offset) as u64,
+                        });
+                        self.seg_pos = self.segments.len();
+                        self.loaded = false; // keep further next() calls at None
+                        return None;
                     }
                     Ok(FrameRead::Incomplete) => {
-                        if seg_pos == last {
-                            // torn tail write — recoverable
-                            break;
-                        }
-                        return Err(SpaError::Corrupt(format!(
-                            "segment {} truncated mid-log at offset {offset}",
-                            path.display()
-                        )));
+                        let msg = format!(
+                            "segment {} truncated mid-log at offset {}",
+                            path.display(),
+                            self.offset
+                        );
+                        return self.fail(msg);
                     }
                     Err(e) => {
-                        return Err(SpaError::Corrupt(format!(
-                            "segment {} offset {offset}: {e}",
-                            path.display()
-                        )))
+                        let msg = format!("segment {} offset {}: {e}", path.display(), self.offset);
+                        return self.fail(msg);
                     }
                 }
             }
+            self.loaded = false;
+            self.seg_pos += 1;
         }
-        Ok(events)
     }
 }
 
@@ -380,6 +549,146 @@ mod tests {
         let stats = log.stats().unwrap();
         assert_eq!(stats.events_appended, 0);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_report_surfaces_the_torn_tail() {
+        let dir = tmp_dir("torn-report");
+        {
+            let log = EventLog::open_default(&dir).unwrap();
+            for i in 0..10 {
+                log.append(&event(i)).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        let intact = EventLog::replay_dir_report(&dir).unwrap();
+        assert!(intact.torn_tail.is_none());
+        let seg = list_segments(&dir).unwrap().pop().unwrap().1;
+        let len = fs::metadata(&seg).unwrap().len();
+        OpenOptions::new().write(true).open(&seg).unwrap().set_len(len - 3).unwrap();
+        let torn = EventLog::replay_dir_report(&dir).unwrap();
+        assert_eq!(torn.events.len(), 9);
+        let tail = torn.torn_tail.expect("tail must be reported torn");
+        assert_eq!(tail.segment, 0);
+        assert_eq!(tail.offset + tail.bytes_dropped, len - 3);
+        // the streaming iterator stays at None after the torn tail
+        // ends it (Iterator contract: no panic on a post-exhaustion poll)
+        let mut iter = EventLog::replay_iter(&dir).unwrap();
+        assert_eq!(iter.by_ref().filter(|e| e.is_ok()).count(), 9);
+        assert!(iter.next().is_none());
+        assert!(iter.next().is_none());
+        assert_eq!(iter.torn_tail().unwrap(), tail);
+    }
+
+    #[test]
+    fn replay_iter_streams_and_stops_at_corruption() {
+        let dir = tmp_dir("iter");
+        {
+            let log = EventLog::open_default(&dir).unwrap();
+            for i in 0..20 {
+                log.append(&event(i)).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        let collected: Vec<_> =
+            EventLog::replay_iter(&dir).unwrap().collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(collected.len(), 20);
+        // flip a payload byte of frame 10: the iterator yields the clean
+        // prefix, then exactly one error, then terminates
+        let mut scratch = BytesMut::new();
+        encode_frame(&event(0), &mut scratch);
+        let frame_len = scratch.len(); // all test events frame identically
+        let seg = list_segments(&dir).unwrap()[0].1.clone();
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes[10 * frame_len + 12] ^= 0x40;
+        fs::write(&seg, &bytes).unwrap();
+        let mut iter = EventLog::replay_iter(&dir).unwrap();
+        let mut okays = 0;
+        let mut errors = 0;
+        for item in iter.by_ref() {
+            match item {
+                Ok(_) => okays += 1,
+                Err(SpaError::Corrupt(_)) => errors += 1,
+                Err(e) => panic!("unexpected error kind: {e}"),
+            }
+        }
+        assert_eq!(errors, 1, "exactly one loud error");
+        assert_eq!(okays, 10, "the clean prefix ends at the flipped frame");
+        assert!(iter.next().is_none(), "iterator is fused after failure");
+    }
+
+    #[test]
+    fn open_recover_truncates_the_torn_tail_and_appends_cleanly() {
+        let dir = tmp_dir("recover");
+        {
+            let log = EventLog::open_default(&dir).unwrap();
+            for i in 0..10 {
+                log.append(&event(i)).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        let seg = list_segments(&dir).unwrap().pop().unwrap().1;
+        let len = fs::metadata(&seg).unwrap().len();
+        OpenOptions::new().write(true).open(&seg).unwrap().set_len(len - 3).unwrap();
+        {
+            let (log, outcome) = EventLog::open_recover(&dir, LogConfig::default()).unwrap();
+            assert_eq!(outcome.events.len(), 9);
+            let torn = outcome.torn_tail.expect("tail was torn");
+            assert_eq!(fs::metadata(&seg).unwrap().len(), torn.offset, "partial frame removed");
+            // appends after recovery land on a clean frame boundary
+            for i in 100..105 {
+                log.append(&event(i)).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        let replayed = EventLog::replay_dir(&dir).unwrap();
+        assert_eq!(replayed.len(), 14);
+        assert_eq!(replayed[9], event(100), "post-recovery events follow the surviving prefix");
+    }
+
+    #[test]
+    fn plain_open_heals_a_torn_active_segment() {
+        let dir = tmp_dir("open-heal");
+        {
+            let log = EventLog::open_default(&dir).unwrap();
+            for i in 0..10 {
+                log.append(&event(i)).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        let seg = list_segments(&dir).unwrap().pop().unwrap().1;
+        let len = fs::metadata(&seg).unwrap().len();
+        OpenOptions::new().write(true).open(&seg).unwrap().set_len(len - 3).unwrap();
+        // the normal bring-up path (NOT open_recover): the torn frame
+        // must be truncated before appends, never buried mid-segment
+        {
+            let log = EventLog::open_default(&dir).unwrap();
+            for i in 50..53 {
+                log.append(&event(i)).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        let replayed = EventLog::replay_dir(&dir).unwrap();
+        assert_eq!(replayed.len(), 12, "9 surviving + 3 post-reopen events");
+        assert_eq!(replayed[8], event(8));
+        assert_eq!(replayed[9], event(50), "new events follow the healed tail");
+    }
+
+    #[test]
+    fn open_recover_on_a_clean_log_is_a_plain_open() {
+        let dir = tmp_dir("recover-clean");
+        {
+            let log = EventLog::open_default(&dir).unwrap();
+            for i in 0..5 {
+                log.append(&event(i)).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        let (log, outcome) = EventLog::open_recover(&dir, LogConfig::default()).unwrap();
+        assert_eq!(outcome.events.len(), 5);
+        assert!(outcome.torn_tail.is_none());
+        log.append(&event(5)).unwrap();
+        assert_eq!(log.replay().unwrap().len(), 6);
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Per-shard event-log handles for a horizontally partitioned platform.
+//!
+//! A [`ShardedEventLog`] owns one [`EventLog`] per shard under a common
+//! root directory (`shard-0000/`, `shard-0001/`, …) plus a tiny
+//! `shards.manifest` file recording the shard count, so a recovering
+//! process can rediscover the layout without out-of-band configuration.
+//! Routing (user → shard) is the caller's business — the log set only
+//! guarantees that shard `i` always maps to the same directory.
+
+use crate::log::{EventLog, LogConfig, LogStats, ReplayOutcome};
+use spa_types::{LifeLogEvent, Result, ShardId, SpaError};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const MANIFEST: &str = "shards.manifest";
+
+fn shard_dir(root: &Path, shard: usize) -> PathBuf {
+    root.join(format!("shard-{shard:04}"))
+}
+
+fn read_manifest(root: &Path) -> Result<usize> {
+    let path = root.join(MANIFEST);
+    let text = fs::read_to_string(&path).map_err(|e| {
+        SpaError::Io(std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+    })?;
+    text.trim().parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+        SpaError::Corrupt(format!("manifest {}: bad shard count {text:?}", path.display()))
+    })
+}
+
+/// One [`EventLog`] per shard under a root directory, with a manifest
+/// pinning the shard count across restarts.
+pub struct ShardedEventLog {
+    root: PathBuf,
+    logs: Vec<EventLog>,
+}
+
+impl ShardedEventLog {
+    /// Opens (creating if needed) a sharded log with `shards` shards.
+    /// If the directory was used before, the manifest must agree —
+    /// replaying events under a different partitioning would silently
+    /// scramble per-shard streams, so a mismatch is a loud error.
+    pub fn open(root: impl Into<PathBuf>, shards: usize, config: LogConfig) -> Result<Self> {
+        if shards == 0 {
+            return Err(SpaError::Invalid("shard count must be at least 1".into()));
+        }
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let manifest = root.join(MANIFEST);
+        if manifest.exists() {
+            let existing = read_manifest(&root)?;
+            if existing != shards {
+                return Err(SpaError::Invalid(format!(
+                    "sharded log at {} has {existing} shards, caller wants {shards}",
+                    root.display()
+                )));
+            }
+        } else {
+            fs::write(&manifest, format!("{shards}\n"))?;
+        }
+        let logs = (0..shards)
+            .map(|i| EventLog::open(shard_dir(&root, i), config.clone()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { root, logs })
+    }
+
+    /// Opens an existing sharded log, taking the shard count from the
+    /// manifest (the crash-recovery entry point: the recovering process
+    /// does not need to know the original configuration).
+    pub fn open_existing(root: impl Into<PathBuf>, config: LogConfig) -> Result<Self> {
+        let root = root.into();
+        let shards = read_manifest(&root)?;
+        Self::open(root, shards, config)
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// Root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The log backing one shard.
+    pub fn log(&self, shard: ShardId) -> &EventLog {
+        &self.logs[shard.index()]
+    }
+
+    /// Appends one event to one shard's log.
+    pub fn append(&self, shard: ShardId, event: &LifeLogEvent) -> Result<()> {
+        self.logs[shard.index()].append(event)
+    }
+
+    /// Appends a batch to one shard's log (single lock acquisition).
+    pub fn append_batch<'a>(
+        &self,
+        shard: ShardId,
+        events: impl IntoIterator<Item = &'a LifeLogEvent>,
+    ) -> Result<usize> {
+        self.logs[shard.index()].append_batch(events)
+    }
+
+    /// Flushes every shard's log.
+    pub fn flush(&self) -> Result<()> {
+        for log in &self.logs {
+            log.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Aggregate statistics over all shards.
+    pub fn stats(&self) -> Result<LogStats> {
+        let mut total = LogStats::default();
+        for log in &self.logs {
+            let s = log.stats()?;
+            total.segments += s.segments;
+            total.bytes += s.bytes;
+            total.events_appended += s.events_appended;
+        }
+        Ok(total)
+    }
+
+    /// One-shot replay of one shard directory: materializes that
+    /// shard's events and truncates a torn tail so reopened logs append
+    /// cleanly (see [`EventLog::open_recover`]). Platform recovery
+    /// streams via [`EventLog::replay_iter`] over
+    /// [`ShardedEventLog::shard_path`] instead, to avoid buffering a
+    /// shard's whole history; this is the convenience form for tools
+    /// and tests.
+    pub fn recover_shard(root: &Path, shard: ShardId, config: LogConfig) -> Result<ReplayOutcome> {
+        let (_, outcome) = EventLog::open_recover(shard_dir(root, shard.index()), config)?;
+        Ok(outcome)
+    }
+
+    /// Shard count recorded in a root directory's manifest.
+    pub fn manifest_shards(root: &Path) -> Result<usize> {
+        read_manifest(root)
+    }
+
+    /// The directory holding one shard's segments (for writer-free
+    /// streaming replay via [`EventLog::replay_iter`]).
+    pub fn shard_path(root: &Path, shard: ShardId) -> PathBuf {
+        shard_dir(root, shard.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spa_types::{ActionId, EventKind, Timestamp, UserId};
+
+    fn tmp_root(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spa-shardlog-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn event(i: u32) -> LifeLogEvent {
+        LifeLogEvent::new(
+            UserId::new(i),
+            Timestamp::from_millis(i as u64),
+            EventKind::Action { action: ActionId::new(i % 984), course: None },
+        )
+    }
+
+    #[test]
+    fn routes_appends_to_the_right_shard() {
+        let root = tmp_root("route");
+        let set = ShardedEventLog::open(&root, 3, LogConfig::default()).unwrap();
+        for i in 0..30 {
+            set.append(ShardId::new(i % 3), &event(i)).unwrap();
+        }
+        set.flush().unwrap();
+        for s in 0..3u32 {
+            let events = set.log(ShardId::new(s)).replay().unwrap();
+            assert_eq!(events.len(), 10);
+            assert!(events.iter().all(|e| e.user.raw() % 3 == s));
+        }
+        assert_eq!(set.stats().unwrap().events_appended, 30);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn manifest_pins_the_shard_count() {
+        let root = tmp_root("manifest");
+        {
+            let _ = ShardedEventLog::open(&root, 4, LogConfig::default()).unwrap();
+        }
+        assert_eq!(ShardedEventLog::manifest_shards(&root).unwrap(), 4);
+        // reopening with the same count is fine, a different count is loud
+        assert!(ShardedEventLog::open(&root, 4, LogConfig::default()).is_ok());
+        assert!(matches!(
+            ShardedEventLog::open(&root, 5, LogConfig::default()),
+            Err(SpaError::Invalid(_))
+        ));
+        let reopened = ShardedEventLog::open_existing(&root, LogConfig::default()).unwrap();
+        assert_eq!(reopened.shards(), 4);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn zero_shards_is_invalid() {
+        let root = tmp_root("zero");
+        assert!(ShardedEventLog::open(&root, 0, LogConfig::default()).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn open_existing_without_manifest_is_an_error() {
+        let root = tmp_root("nomanifest");
+        fs::create_dir_all(&root).unwrap();
+        assert!(ShardedEventLog::open_existing(&root, LogConfig::default()).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_loud() {
+        let root = tmp_root("badmanifest");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(root.join(MANIFEST), "not-a-number\n").unwrap();
+        assert!(matches!(
+            ShardedEventLog::open_existing(&root, LogConfig::default()),
+            Err(SpaError::Corrupt(_))
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn recover_shard_reads_back_that_shards_events() {
+        let root = tmp_root("recover");
+        {
+            let set = ShardedEventLog::open(&root, 2, LogConfig::default()).unwrap();
+            for i in 0..20 {
+                set.append(ShardId::new(i % 2), &event(i)).unwrap();
+            }
+            set.flush().unwrap();
+        }
+        let outcome =
+            ShardedEventLog::recover_shard(&root, ShardId::new(1), LogConfig::default()).unwrap();
+        assert_eq!(outcome.events.len(), 10);
+        assert!(outcome.torn_tail.is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

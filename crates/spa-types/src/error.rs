@@ -1,5 +1,6 @@
 //! Workspace error type.
 
+use crate::ids::UserId;
 use std::fmt;
 
 /// Errors surfaced by SPA components.
@@ -28,6 +29,10 @@ pub enum SpaError {
     Corrupt(String),
     /// A model was used before being trained.
     NotTrained,
+    /// An operation that requires an existing user model was invoked
+    /// for a user the platform has never seen. Raised at the entry
+    /// point so callers don't chase a confusing downstream error.
+    UnknownUser(UserId),
 }
 
 impl fmt::Display for SpaError {
@@ -44,6 +49,9 @@ impl fmt::Display for SpaError {
             SpaError::Io(e) => write!(f, "i/o error: {e}"),
             SpaError::Corrupt(msg) => write!(f, "corrupt record: {msg}"),
             SpaError::NotTrained => write!(f, "model used before training"),
+            SpaError::UnknownUser(user) => {
+                write!(f, "unknown user {user}: no model has been built (ingest events first)")
+            }
         }
     }
 }
@@ -87,5 +95,12 @@ mod tests {
     #[test]
     fn non_io_errors_have_no_source() {
         assert!(SpaError::NotTrained.source().is_none());
+    }
+
+    #[test]
+    fn unknown_user_names_the_user() {
+        let e = SpaError::UnknownUser(UserId::new(42));
+        assert!(e.to_string().contains("u42"));
+        assert!(e.source().is_none());
     }
 }

@@ -97,6 +97,13 @@ define_id!(
     "q"
 );
 
+define_id!(
+    /// One shard of a horizontally partitioned platform (users are
+    /// assigned to shards by a stable hash of their [`UserId`]).
+    ShardId,
+    "shard"
+);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +126,7 @@ mod tests {
         assert_eq!(AttributeId::new(7).to_string(), "attr7");
         assert_eq!(CampaignId::new(7).to_string(), "camp7");
         assert_eq!(QuestionId::new(7).to_string(), "q7");
+        assert_eq!(ShardId::new(7).to_string(), "shard7");
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub use attributes::{
 pub use error::SpaError;
 pub use events::{EventKind, LifeLogEvent, Timestamp};
 pub use four_branch::{Branch, BRANCHES};
-pub use ids::{ActionId, AttributeId, CampaignId, CourseId, QuestionId, UserId};
+pub use ids::{ActionId, AttributeId, CampaignId, CourseId, QuestionId, ShardId, UserId};
 pub use valence::Valence;
 
 /// Convenience result alias used across the workspace.

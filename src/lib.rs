@@ -71,21 +71,22 @@ pub mod prelude {
     };
     pub use spa_core::platform::{Spa, SpaConfig};
     pub use spa_core::{
-        AssignedMessage, AssignmentCase, EitEngine, MessageCatalog, MessagePolicy,
-        SelectionFunction, SmartUserModel, SumConfig, SumRegistry,
+        AssignedMessage, AssignmentCase, EitEngine, MessageCatalog, MessagePolicy, RecoveryReport,
+        SelectionFunction, ShardedSpa, SmartUserModel, SumConfig, SumRegistry,
     };
     pub use spa_linalg::{CsrMatrix, SparseVec};
     pub use spa_ml::{
         BernoulliNb, Classifier, Dataset, LinearSvm, LogisticRegression, OnlineLearner,
     };
-    pub use spa_store::{EventLog, ProfileStore, SensibilityIndex};
+    pub use spa_store::log::LogConfig;
+    pub use spa_store::{EventLog, ProfileStore, SensibilityIndex, ShardedEventLog};
     pub use spa_synth::{
         ActionCatalog, ActionKind, Course, CourseCatalog, LatentUser, Population, PopulationConfig,
         ResponseConfig, ResponseModel,
     };
     pub use spa_types::{
         ActionId, AttributeId, AttributeKind, AttributeSchema, Branch, CampaignId, CourseId,
-        EmotionalAttribute, EventKind, LifeLogEvent, QuestionId, SpaError, Timestamp, UserId,
-        Valence, BRANCHES, EMOTIONAL_ATTRIBUTES,
+        EmotionalAttribute, EventKind, LifeLogEvent, QuestionId, ShardId, SpaError, Timestamp,
+        UserId, Valence, BRANCHES, EMOTIONAL_ATTRIBUTES,
     };
 }
