@@ -98,6 +98,14 @@ fn bench_score(c: &mut Criterion) {
         group.bench_function(format!("sharded{SHARDS}_rank_{}k", n / 1000), |b| {
             b.iter(|| black_box(sharded.rank(&users).unwrap().len()))
         });
+        // Fig-6 "contact the top fraction": top-10% selection without
+        // the full audience sort
+        group.bench_function(format!("single_top10_{}k", n / 1000), |b| {
+            b.iter(|| black_box(single.rank_top_k(&users, n / 10).unwrap().len()))
+        });
+        group.bench_function(format!("sharded{SHARDS}_top10_{}k", n / 1000), |b| {
+            b.iter(|| black_box(sharded.rank_top_k(&users, n / 10).unwrap().len()))
+        });
         group.finish();
     }
 }

@@ -123,6 +123,27 @@ impl<'a> CampaignRunner<'a> {
             .collect()
     }
 
+    /// The Fig-6 deployment shape: draw the spec's random candidate
+    /// audience, then keep only the top `fraction` by trained
+    /// propensity ("the effort to send Push and newsletters", Fig 6a —
+    /// the platform contacts the best slice, not everyone). Selection
+    /// goes through [`Spa::rank_top_k`], so the candidate pool is
+    /// scored once and never fully sorted; the contacted set is
+    /// identical to ranking everything and taking the head.
+    pub fn draw_targeted_audience(
+        &self,
+        spa: &Spa,
+        spec: &CampaignSpec,
+        fraction: f64,
+    ) -> Result<Vec<UserId>> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(SpaError::Invalid(format!("fraction {fraction} out of [0,1]")));
+        }
+        let candidates = self.draw_audience(spec);
+        let k = ((candidates.len() as f64) * fraction).round() as usize;
+        Ok(spa.rank_top_k(&candidates, k)?.into_iter().map(|(user, _)| user).collect())
+    }
+
     /// Runs one campaign serially. `score_user` supplies the
     /// selection-function score recorded per contact (pass a constant
     /// for untrained runs); it also receives the message the platform
@@ -305,6 +326,33 @@ mod tests {
         assert_eq!(unique.len(), 300, "sampling without replacement");
         let s2 = spec(&courses, 2, 300);
         assert_ne!(runner.draw_audience(&s2), a, "different campaigns draw differently");
+    }
+
+    #[test]
+    fn targeted_audience_is_the_ranked_prefix() {
+        let (population, response, courses, mut spa) = setup();
+        let runner = CampaignRunner::new(&population, &response);
+        // build differentiated user models + a trained selection
+        let warmup = spec(&courses, 8, 400);
+        runner.run(&spa, &warmup, |_, _, _| 0.0, |_, _, _| {}).unwrap();
+        let mut data = spa_ml::Dataset::new(75);
+        for raw in (0..800u32).step_by(4) {
+            let row = spa.advice_row(UserId::new(raw)).unwrap();
+            let label = if row.get(65) > 0.4 { 1.0 } else { -1.0 };
+            data.push(&row, label).unwrap();
+        }
+        spa.train_selection(&data).unwrap();
+
+        let s = spec(&courses, 9, 500);
+        let targeted = runner.draw_targeted_audience(&spa, &s, 0.3).unwrap();
+        let candidates = runner.draw_audience(&s);
+        let ranked = spa.rank_users(&candidates).unwrap();
+        let expected: Vec<UserId> =
+            ranked[..targeted.len()].iter().map(|&(user, _)| user).collect();
+        assert_eq!(targeted.len(), 150, "30% of 500 candidates");
+        assert_eq!(targeted, expected, "top-k must equal the full-ranking prefix");
+        assert!(runner.draw_targeted_audience(&spa, &s, 1.2).is_err());
+        assert!(runner.draw_targeted_audience(&spa, &s, 0.0).unwrap().is_empty());
     }
 
     #[test]

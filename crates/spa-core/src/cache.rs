@@ -1,0 +1,251 @@
+//! Epoch-versioned advice-row cache.
+//!
+//! A campaign scores the whole audience ("ranking users to assess their
+//! propensity", §5.2), and between two campaign sweeps most user models
+//! are untouched. Recomputing every advice row on every sweep wastes
+//! the dominant share of scoring time, so [`AdviceCache`] keeps one
+//! advice row per scored user — **compact sparse**, inside contiguous
+//! row-major slot arrays (stride = the attribute dimension, length =
+//! the row's nonzero count) — and invalidates per user through the
+//! model's monotone update counter
+//! ([`crate::sum::SmartUserModel::updates`]): every SUM mutation bumps
+//! the counter, so a cached row is valid iff its recorded epoch equals
+//! the model's current counter. A repeated sweep over a quiet
+//! population therefore degrades to a contiguous read of each user's
+//! few stored entries plus one sparse dot — no schema walks, no
+//! recomputation, no allocation.
+//!
+//! Rows are kept sparse rather than dense on purpose: advice rows of a
+//! web-scale population carry a handful of nonzeros out of 75
+//! attributes (§5.2's sparsity problem), and a dense 75-slot dot costs
+//! roughly an order of magnitude more than the gather over the stored
+//! entries. Cached rows are read back as [`RowView`]s and scored
+//! through exactly the same kernel as uncached rows, which keeps the
+//! bit-identity argument trivial.
+//!
+//! The cache is sharded like the [`crate::sum::SumRegistry`] (same
+//! shard count, same `user % shards` routing) so concurrent scoring
+//! workers rarely contend on one mutex.
+//!
+//! **Memory shape.** Rows are *stored* at a fixed stride of `dim`
+//! entries (`dim × 12` bytes ≈ 900 B per scored user at the paper's 75
+//! attributes) so a refill can never outgrow its slot, and slots are
+//! never evicted — the cache grows to one slot per ever-scored user,
+//! the same O(population) shape as the [`crate::sum::SumRegistry`]
+//! itself (which stores two dense `f64` vectors per user, ~1.2 KB).
+//! Only the first `len` entries of a slot are live; the *read and
+//! score* path touches just those. If the population ever outgrows
+//! memory, eviction (e.g. dropping slots of cold shards) slots in here
+//! without touching any caller.
+
+use crate::fastmap::FastIdMap;
+use parking_lot::Mutex;
+use spa_linalg::RowView;
+use spa_types::UserId;
+
+const CACHE_SHARDS: usize = 32;
+
+/// Hit/miss counters of an [`AdviceCache`] (monotone since creation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Reads served from a valid cached row.
+    pub hits: u64,
+    /// Reads that (re)computed the row — first touch or a stale epoch.
+    pub misses: u64,
+}
+
+struct CacheEntry {
+    epoch: u64,
+    slot: usize,
+}
+
+#[derive(Default)]
+struct CacheShard {
+    slots: FastIdMap<CacheEntry>,
+    /// Stored nonzero count per slot.
+    lens: Vec<u32>,
+    /// Row-major index storage: slot `s` owns `s*dim .. (s+1)*dim`,
+    /// of which the first `lens[s]` entries are live.
+    indices: Vec<u32>,
+    /// Value storage, parallel to `indices`.
+    values: Vec<f64>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Sharded cache of compact sparse advice rows, invalidated per user by
+/// epoch.
+pub struct AdviceCache {
+    dim: usize,
+    shards: Vec<Mutex<CacheShard>>,
+}
+
+impl AdviceCache {
+    /// An empty cache for `dim`-attribute rows.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, shards: (0..CACHE_SHARDS).map(|_| Mutex::new(CacheShard::default())).collect() }
+    }
+
+    /// Row dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of users with a cached row.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().slots.len()).sum()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let guard = shard.lock();
+            total.hits += guard.hits;
+            total.misses += guard.misses;
+        }
+        total
+    }
+
+    /// Reads `user`'s cached row at `epoch`, refilling it first when
+    /// absent or stale, then returns `read`'s result.
+    ///
+    /// `fill` receives the slot's index/value buffers (each `dim` long)
+    /// and returns how many entries it wrote at the front — strictly
+    /// increasing in-range indices with nonzero finite values, the
+    /// [`RowView`] invariants. `read` sees the row trimmed to its live
+    /// length. The shard stays locked for the whole call, so `fill` and
+    /// `read` observe a consistent row; keep both short.
+    pub fn with_row<T>(
+        &self,
+        user: UserId,
+        epoch: u64,
+        fill: impl FnOnce(&mut [u32], &mut [f64]) -> usize,
+        read: impl FnOnce(RowView<'_>) -> T,
+    ) -> T {
+        let mut guard = self.shards[user.raw() as usize % CACHE_SHARDS].lock();
+        let shard = &mut *guard;
+        let (slot, stale) = match shard.slots.get_mut(&user.raw()) {
+            Some(entry) if entry.epoch == epoch => (entry.slot, false),
+            Some(entry) => {
+                entry.epoch = epoch;
+                (entry.slot, true)
+            }
+            None => {
+                let slot = shard.lens.len();
+                let needed = (slot + 1) * self.dim;
+                if shard.indices.len() < needed {
+                    // grow the slot arrays geometrically: a few big
+                    // memsets instead of one small resize per new user
+                    let target = needed.max(shard.indices.len() * 2).max(self.dim * 64);
+                    shard.indices.resize(target, 0);
+                    shard.values.resize(target, 0.0);
+                }
+                shard.lens.push(0);
+                shard.slots.insert(user.raw(), CacheEntry { epoch, slot });
+                (slot, true)
+            }
+        };
+        let start = slot * self.dim;
+        if stale {
+            shard.misses += 1;
+            let len = fill(
+                &mut shard.indices[start..start + self.dim],
+                &mut shard.values[start..start + self.dim],
+            );
+            debug_assert!(len <= self.dim, "fill wrote past the slot");
+            shard.lens[slot] = len as u32;
+        } else {
+            shard.hits += 1;
+        }
+        let len = shard.lens[slot] as usize;
+        read(RowView::new(
+            self.dim,
+            &shard.indices[start..start + len],
+            &shard.values[start..start + len],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill_pairs(pairs: &[(u32, f64)]) -> impl Fn(&mut [u32], &mut [f64]) -> usize + '_ {
+        move |indices, values| {
+            for (slot, &(i, v)) in pairs.iter().enumerate() {
+                indices[slot] = i;
+                values[slot] = v;
+            }
+            pairs.len()
+        }
+    }
+
+    #[test]
+    fn fills_once_per_epoch_then_hits() {
+        let cache = AdviceCache::new(4);
+        let user = UserId::new(9);
+        let mut fills = 0;
+        for _ in 0..3 {
+            let sum = cache.with_row(
+                user,
+                1,
+                |indices, values| {
+                    fills += 1;
+                    fill_pairs(&[(0, 1.0), (2, 2.0)])(indices, values)
+                },
+                |row| row.values().iter().sum::<f64>(),
+            );
+            assert_eq!(sum, 3.0);
+        }
+        assert_eq!(fills, 1, "valid rows must not refill");
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stale_epoch_refills_in_place_even_shorter() {
+        let cache = AdviceCache::new(4);
+        let user = UserId::new(3);
+        cache.with_row(user, 1, fill_pairs(&[(0, 1.0), (1, 2.0), (3, 3.0)]), |_| ());
+        // epoch bumped (the model mutated): the row must be rewritten,
+        // and a shorter refill must hide the old tail entries
+        let row_len = cache.with_row(user, 2, fill_pairs(&[(2, 5.0)]), |row| {
+            assert_eq!(row.indices(), &[2]);
+            assert_eq!(row.values(), &[5.0]);
+            row.nnz()
+        });
+        assert_eq!(row_len, 1);
+        assert_eq!(cache.len(), 1, "refill reuses the slot");
+        // back at the same epoch: hit, no refill
+        let v = cache.with_row(user, 2, |_, _| panic!("must not refill"), |row| row.get(2));
+        assert_eq!(v, 5.0);
+    }
+
+    #[test]
+    fn distinct_users_get_distinct_slots() {
+        let cache = AdviceCache::new(3);
+        for raw in 0..100u32 {
+            cache.with_row(UserId::new(raw), 0, fill_pairs(&[(1, raw as f64 + 1.0)]), |_| ());
+        }
+        assert_eq!(cache.len(), 100);
+        for raw in 0..100u32 {
+            let v = cache.with_row(UserId::new(raw), 0, |_, _| panic!("cached"), |row| row.get(1));
+            assert_eq!(v, raw as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_rows_cache_fine() {
+        let cache = AdviceCache::new(5);
+        let nnz = cache.with_row(UserId::new(1), 7, |_, _| 0, |row| row.nnz());
+        assert_eq!(nnz, 0);
+        let nnz = cache.with_row(UserId::new(1), 7, |_, _| panic!("cached"), |row| row.nnz());
+        assert_eq!(nnz, 0);
+    }
+}

@@ -25,6 +25,8 @@
 //!   ranking of users for campaign targeting;
 //! * [`batch`] — the Habitat-Pro-style batch baseline the paper says
 //!   SPA evolved from (retrain-from-scratch, no incremental updates);
+//! * [`cache`] — the epoch-versioned dense advice-row cache behind
+//!   campaign-scale batch scoring;
 //! * [`agents`] — the four platform agents wired onto the
 //!   [`spa_agents`] runtime;
 //! * [`values`] — the Intelligent User Interface's **Human Values
@@ -42,7 +44,9 @@
 pub mod agents;
 pub mod attributes;
 pub mod batch;
+pub mod cache;
 pub mod eit;
+mod fastmap;
 pub mod messaging;
 pub mod platform;
 pub mod preprocessor;
@@ -52,9 +56,10 @@ pub mod shard;
 pub mod sum;
 pub mod values;
 
+pub use cache::{AdviceCache, CacheStats};
 pub use eit::{EitEngine, EitQuestion, QuestionBank};
 pub use messaging::{AssignedMessage, AssignmentCase, MessageCatalog, MessagePolicy};
 pub use platform::Spa;
 pub use selection::SelectionFunction;
 pub use shard::{RecoveryReport, ShardedSpa};
-pub use sum::{SmartUserModel, SumConfig, SumRegistry};
+pub use sum::{AdviceFactors, SmartUserModel, SumConfig, SumRegistry};

@@ -13,12 +13,13 @@
 //! * message assignment ([`Spa::assign_message`]).
 
 use crate::attributes::AttributesManager;
+use crate::cache::{AdviceCache, CacheStats};
 use crate::eit::{EitEngine, EitQuestion};
 use crate::messaging::{AssignedMessage, MessageCatalog, MessagePolicy, MessagingAgent};
 use crate::preprocessor::{LifeLogPreprocessor, PreprocessorStats};
 use crate::selection::SelectionFunction;
-use crate::sum::{SumConfig, SumRegistry};
-use spa_linalg::SparseVec;
+use crate::sum::{AdviceFactors, SumConfig, SumRegistry};
+use spa_linalg::{RowScratch, RowView, SparseVec};
 use spa_ml::Dataset;
 use spa_synth::catalog::CourseCatalog;
 use spa_types::{
@@ -57,6 +58,10 @@ pub struct Spa {
     manager: Arc<AttributesManager>,
     messaging: Arc<MessagingAgent>,
     selection: SelectionFunction,
+    /// Schema part of the advice transform, folded once at bring-up.
+    advice_factors: AdviceFactors,
+    /// Dense advice rows keyed by the per-model update counter.
+    advice_cache: AdviceCache,
 }
 
 impl Spa {
@@ -72,7 +77,19 @@ impl Spa {
             config.policy,
         ));
         let selection = SelectionFunction::with_imbalance(schema.len(), config.positive_weight);
-        Self { schema, registry, eit, preprocessor, manager, messaging, selection }
+        let advice_factors = AdviceFactors::new(&schema);
+        let advice_cache = AdviceCache::new(schema.len());
+        Self {
+            schema,
+            registry,
+            eit,
+            preprocessor,
+            manager,
+            messaging,
+            selection,
+            advice_factors,
+            advice_cache,
+        }
     }
 
     /// The attribute schema.
@@ -103,6 +120,18 @@ impl Spa {
     /// The selection function (trained propensity ranker).
     pub fn selection(&self) -> &SelectionFunction {
         &self.selection
+    }
+
+    /// The precomputed advice factor table (schema part of the advice
+    /// transform; shared with the sharded platform's global-model path).
+    pub fn advice_factors(&self) -> &AdviceFactors {
+        &self.advice_factors
+    }
+
+    /// Hit/miss counters of the advice-row cache behind
+    /// [`Spa::score_users`].
+    pub fn advice_cache_stats(&self) -> CacheStats {
+        self.advice_cache.stats()
     }
 
     /// Ingests one raw LifeLog event.
@@ -149,18 +178,20 @@ impl Spa {
 
     /// Plain observed feature row for a user (empty row for unknowns).
     pub fn feature_row(&self, user: UserId) -> SparseVec {
-        match self.registry.get(user) {
+        self.registry.with_model_read(user, |model| match model {
             Some(model) => model.feature_row(),
             None => SparseVec::zeros(self.schema.len()),
-        }
+        })
     }
 
-    /// Advice-stage (activated/inhibited) feature row.
+    /// Advice-stage (activated/inhibited) feature row. This is the
+    /// cache-free reference computation — batch scoring goes through
+    /// the advice-row cache instead (see [`Spa::score_users`]).
     pub fn advice_row(&self, user: UserId) -> Result<SparseVec> {
-        match self.registry.get(user) {
+        self.registry.with_model_read(user, |model| match model {
             Some(model) => model.advice_row(&self.schema),
             None => Ok(SparseVec::zeros(self.schema.len())),
-        }
+        })
     }
 
     /// Trains the selection function on labelled campaign history.
@@ -171,12 +202,21 @@ impl Spa {
     /// Batch propensity scoring: the advice-stage rows of `users`,
     /// scored by the trained selection function, in input order.
     ///
+    /// This is the paper-scale path — one campaign scores millions of
+    /// users through exactly this call — and it performs **zero clones
+    /// and zero allocations per user**: each score borrows the model
+    /// under its registry shard's read lock, reads (or refills) the
+    /// user's compact sparse advice row in the epoch-versioned
+    /// [`AdviceCache`], and dots it against the SVM weights through the
+    /// same kernel as every other surface. A repeat sweep over a quiet
+    /// population is a cached-row scan. Scores are
+    /// bit-identical to the cache-free reference
+    /// (`selection().score(&advice_row(user))`), enforced by
+    /// `tests/scoring_fastpath.rs`.
+    ///
     /// With the `parallel` feature (default) the work fans out across
-    /// threads — each worker reads its own slice of users from the
-    /// sharded [`SumRegistry`] (read locks only) — and results are
-    /// assembled in input order, so the output is identical at any
-    /// thread count. This is the paper-scale path: one campaign scores
-    /// millions of users through exactly this call.
+    /// threads and results are assembled in input order, so the output
+    /// is identical at any thread count.
     pub fn score_users(&self, users: &[UserId]) -> Result<Vec<(UserId, f64)>> {
         #[cfg(feature = "parallel")]
         {
@@ -192,8 +232,24 @@ impl Spa {
 
     /// Scores one user's advice-stage row with the selection function.
     fn score_user(&self, user: UserId) -> Result<(UserId, f64)> {
-        let row = self.advice_row(user)?;
-        Ok((user, self.selection.score(&row)?))
+        Ok((user, self.score_user_with(&self.selection, user)?))
+    }
+
+    /// Scores one user's advice row against a *supplied* selection
+    /// function through the zero-allocation cached path — the hook the
+    /// sharded platform uses to score shard-local models with its
+    /// global selection function. Unknown users score as the empty row
+    /// (the SVM bias), exactly like [`Spa::advice_row`]'s zero row.
+    pub fn score_user_with(&self, selection: &SelectionFunction, user: UserId) -> Result<f64> {
+        self.registry.with_model_read(user, |model| match model {
+            Some(model) => self.advice_cache.with_row(
+                user,
+                model.updates(),
+                |indices, values| model.advice_compact_into(&self.advice_factors, indices, values),
+                |row| selection.score_view(row),
+            ),
+            None => selection.score_view(RowView::empty(self.schema.len())),
+        })
     }
 
     /// Ranks users by propensity, descending (ties break by user id for
@@ -206,19 +262,34 @@ impl Spa {
         Ok(scored)
     }
 
+    /// The best `k` users by propensity — exactly
+    /// `rank_users(users)[..k]` (same comparator, same tie-breaks),
+    /// computed without sorting the whole audience
+    /// ([`SelectionFunction::top_k_by_propensity`]).
+    pub fn rank_top_k(&self, users: &[UserId], k: usize) -> Result<Vec<(UserId, f64)>> {
+        let mut scored = self.score_users(users)?;
+        SelectionFunction::top_k_by_propensity(&mut scored, k);
+        Ok(scored)
+    }
+
     /// Incrementally folds one observed outcome into the selection
-    /// function (SPA's incremental-learning mode).
+    /// function (SPA's incremental-learning mode). The advice row is
+    /// built into a scratch buffer under the registry read lock — no
+    /// model clone — and the update is bit-identical to
+    /// `partial_fit(&advice_row(user))`.
     ///
     /// Errors with [`SpaError::UnknownUser`] when no model exists for
     /// `user`: silently training on the all-zero advice row of a never-
     /// seen user would corrupt the selection function with no signal to
     /// the caller. Ingest at least one event first.
     pub fn observe_outcome(&mut self, user: UserId, responded: bool) -> Result<()> {
-        if self.registry.get(user).is_none() {
-            return Err(SpaError::UnknownUser(user));
-        }
-        let row = self.advice_row(user)?;
-        self.selection.partial_fit(&row, responded)
+        let Spa { registry, selection, advice_factors, .. } = self;
+        registry.with_model_read(user, |model| {
+            let model = model.ok_or(SpaError::UnknownUser(user))?;
+            let mut scratch = RowScratch::new(model.dim());
+            let view = model.advice_into(advice_factors, &mut scratch)?;
+            selection.partial_fit_view(view, responded)
+        })
     }
 
     /// Registers a campaign's appeal attributes so opens/transactions
@@ -369,6 +440,79 @@ mod tests {
         // unknown users score as empty rows, not errors
         let unknown = spa.score_users(&[UserId::new(9999)]).unwrap();
         assert_eq!(unknown.len(), 1);
+    }
+
+    /// Platform with differentiated user models and a trained
+    /// selection function, for scoring-path tests.
+    fn trained_platform(n_users: u32) -> (Spa, Vec<UserId>) {
+        let mut spa = platform();
+        let users: Vec<UserId> = (0..n_users).map(UserId::new).collect();
+        for (i, &user) in users.iter().enumerate() {
+            let q = spa.next_eit_question(user);
+            spa.ingest(&LifeLogEvent::new(
+                user,
+                Timestamp::from_millis(i as u64),
+                EventKind::EitAnswer {
+                    question: q.id,
+                    answer: Valence::new((i as f64 / n_users as f64) * 2.0 - 1.0),
+                },
+            ))
+            .unwrap();
+        }
+        let mut data = Dataset::new(75);
+        for &user in &users {
+            let row = spa.advice_row(user).unwrap();
+            data.push(&row, if row.get(65) > 0.5 { 1.0 } else { -1.0 }).unwrap();
+        }
+        spa.train_selection(&data).unwrap();
+        (spa, users)
+    }
+
+    #[test]
+    fn repeated_scans_hit_the_advice_cache_and_ingest_invalidates() {
+        let (spa, users) = trained_platform(40);
+        let first = spa.score_users(&users).unwrap();
+        let after_first = spa.advice_cache_stats();
+        assert_eq!(after_first.misses as usize, users.len(), "first sweep fills every row");
+        let second = spa.score_users(&users).unwrap();
+        let after_second = spa.advice_cache_stats();
+        assert_eq!(after_second.hits - after_first.hits, users.len() as u64);
+        assert_eq!(after_second.misses, after_first.misses, "quiet sweep must not refill");
+        for (a, b) in first.iter().zip(second.iter()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        // mutate one user: exactly that row refills, and its score
+        // matches the cache-free reference
+        let touched = users[7];
+        let q = spa.next_eit_question(touched);
+        spa.ingest(&LifeLogEvent::new(
+            touched,
+            Timestamp::from_millis(999),
+            EventKind::EitAnswer { question: q.id, answer: Valence::new(0.9) },
+        ))
+        .unwrap();
+        let third = spa.score_users(&users).unwrap();
+        let after_third = spa.advice_cache_stats();
+        assert_eq!(after_third.misses - after_second.misses, 1, "only the touched user refills");
+        for &(user, score) in &third {
+            let reference = spa.selection().score(&spa.advice_row(user).unwrap()).unwrap();
+            assert_eq!(score.to_bits(), reference.to_bits(), "cached score diverges for {user}");
+        }
+    }
+
+    #[test]
+    fn rank_top_k_equals_rank_users_prefix() {
+        let (spa, users) = trained_platform(60);
+        let full = spa.rank_users(&users).unwrap();
+        for k in [0usize, 1, 13, 59, 60, 100] {
+            let top = spa.rank_top_k(&users, k).unwrap();
+            assert_eq!(top.len(), k.min(users.len()));
+            for ((ua, sa), (ub, sb)) in top.iter().zip(full.iter()) {
+                assert_eq!(ua, ub, "k={k}");
+                assert_eq!(sa.to_bits(), sb.to_bits(), "k={k}");
+            }
+        }
     }
 
     #[test]

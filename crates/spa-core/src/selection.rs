@@ -46,6 +46,13 @@ impl SelectionFunction {
         self.svm.partial_fit(features, if responded { 1.0 } else { -1.0 })
     }
 
+    /// [`SelectionFunction::partial_fit`] over a borrowed row — the
+    /// zero-copy form the platforms' `observe_outcome` fast path uses
+    /// (bit-identical update).
+    pub fn partial_fit_view(&mut self, features: RowView<'_>, responded: bool) -> Result<()> {
+        self.svm.partial_fit_view(features, if responded { 1.0 } else { -1.0 })
+    }
+
     /// True once trained.
     pub fn is_trained(&self) -> bool {
         self.svm.is_trained()
@@ -61,7 +68,9 @@ impl SelectionFunction {
         self.svm.decision_function(features)
     }
 
-    /// Propensity score of one borrowed feature row (zero-copy).
+    /// Propensity score of one borrowed feature row (zero-copy) — the
+    /// kernel every scoring surface routes through, cached advice rows
+    /// included.
     pub fn score_view(&self, features: RowView<'_>) -> Result<f64> {
         self.svm.decision_view(features)
     }
@@ -73,15 +82,37 @@ impl SelectionFunction {
         self.svm.decision_batch(data)
     }
 
-    /// Sorts scored users by propensity, descending; ties break by
-    /// ascending user id. The **single** ranking comparator shared by
-    /// every surface ([`SelectionFunction::rank`], `Spa::rank_users`,
-    /// the sharded merge) — the bit-identical sharded-vs-single ranking
-    /// guarantee depends on there being exactly one.
+    /// The **single** ranking comparator shared by every surface
+    /// ([`SelectionFunction::rank`], [`SelectionFunction::rank_top_k`],
+    /// `Spa::rank_users`, the sharded merges) — the bit-identical
+    /// sharded-vs-single ranking guarantee depends on there being
+    /// exactly one. Descending by score; ties break by ascending user
+    /// id, so the order is total whenever ids are distinct.
+    pub fn propensity_cmp(a: &(UserId, f64), b: &(UserId, f64)) -> std::cmp::Ordering {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    }
+
+    /// Sorts scored users with [`SelectionFunction::propensity_cmp`].
     pub fn sort_by_propensity(scored: &mut [(UserId, f64)]) {
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-        });
+        scored.sort_by(Self::propensity_cmp);
+    }
+
+    /// Keeps only the best `k` scored users, fully sorted under
+    /// [`SelectionFunction::propensity_cmp`] — identical to sorting
+    /// everything and truncating to `k`, but in O(n + k log k) instead
+    /// of O(n log n): a quickselect partition isolates the top `k`,
+    /// then only that slice is sorted. This is what lets a Fig-6-style
+    /// "contact the top fraction" campaign skip the full audience sort.
+    pub fn top_k_by_propensity(scored: &mut Vec<(UserId, f64)>, k: usize) {
+        if k == 0 {
+            scored.clear();
+            return;
+        }
+        if k < scored.len() {
+            scored.select_nth_unstable_by(k, Self::propensity_cmp);
+            scored.truncate(k);
+        }
+        scored.sort_by(Self::propensity_cmp);
     }
 
     /// Ranks an audience by propensity, descending. Ties break by user
@@ -113,9 +144,25 @@ impl SelectionFunction {
         audience.iter().map(|(user, features)| Ok((*user, self.score(features)?))).collect()
     }
 
+    /// The best `k` of the audience under the shared ranking comparator
+    /// — exactly `rank(audience)[..k]`, computed with
+    /// [`SelectionFunction::top_k_by_propensity`] so the full audience
+    /// is scored but never fully sorted.
+    pub fn rank_top_k(
+        &self,
+        audience: &[(UserId, SparseVec)],
+        k: usize,
+    ) -> Result<Vec<(UserId, f64)>> {
+        let mut scored = self.score_audience(audience)?;
+        Self::top_k_by_propensity(&mut scored, k);
+        Ok(scored)
+    }
+
     /// The top `fraction` of the ranked audience — the users the
     /// campaign will actually contact ("the effort to send Push and
-    /// newsletters" axis of Fig 6a).
+    /// newsletters" axis of Fig 6a). Uses the top-k path: identical
+    /// output to ranking everything and taking the head, without the
+    /// O(n log n) sort.
     pub fn select_top(
         &self,
         audience: &[(UserId, SparseVec)],
@@ -124,9 +171,8 @@ impl SelectionFunction {
         if !(0.0..=1.0).contains(&fraction) {
             return Err(SpaError::Invalid(format!("fraction {fraction} out of [0,1]")));
         }
-        let ranked = self.rank(audience)?;
-        let k = ((ranked.len() as f64) * fraction).round() as usize;
-        Ok(ranked.into_iter().take(k).map(|(u, _)| u).collect())
+        let k = ((audience.len() as f64) * fraction).round() as usize;
+        Ok(self.rank_top_k(audience, k)?.into_iter().map(|(u, _)| u).collect())
     }
 
     /// Feature dimensionality.
@@ -194,6 +240,27 @@ mod tests {
         assert!(sel.select_top(&aud, 0.0).unwrap().is_empty());
         assert_eq!(sel.select_top(&aud, 1.0).unwrap().len(), 200);
         assert!(sel.select_top(&aud, 1.5).is_err());
+    }
+
+    #[test]
+    fn rank_top_k_equals_full_rank_prefix() {
+        let mut sel = SelectionFunction::with_imbalance(5, 4.0);
+        sel.fit(&history(600, 8)).unwrap();
+        // mix distinct scores and forced ties (zero rows)
+        let mut aud = audience(150, 7);
+        for i in 0..20u32 {
+            aud.push((UserId::new(1000 + i), SparseVec::zeros(5)));
+        }
+        let full = sel.rank(&aud).unwrap();
+        for k in [0usize, 1, 2, 37, 149, 150, 170, 500] {
+            let top = sel.rank_top_k(&aud, k).unwrap();
+            let expect = &full[..k.min(full.len())];
+            assert_eq!(top.len(), expect.len(), "k={k}");
+            for ((ua, sa), (ub, sb)) in top.iter().zip(expect.iter()) {
+                assert_eq!(ua, ub, "k={k}: user order diverges");
+                assert_eq!(sa.to_bits(), sb.to_bits(), "k={k}: score diverges");
+            }
+        }
     }
 
     #[test]

@@ -357,20 +357,25 @@ impl ShardedSpa {
     }
 
     /// Incrementally folds one observed outcome into the global
-    /// selection function. Requires an existing user model — see
-    /// [`Spa::observe_outcome`].
+    /// selection function, through the same clone-free scratch path as
+    /// [`Spa::observe_outcome`] (bit-identical update). Requires an
+    /// existing user model.
     pub fn observe_outcome(&mut self, user: UserId, responded: bool) -> Result<()> {
         let owner = &self.shards[shard_index(user, self.shards.len())];
-        if owner.registry().get(user).is_none() {
-            return Err(SpaError::UnknownUser(user));
-        }
-        let row = owner.advice_row(user)?;
-        self.selection.partial_fit(&row, responded)
+        let selection = &mut self.selection;
+        owner.registry().with_model_read(user, |model| {
+            let model = model.ok_or(SpaError::UnknownUser(user))?;
+            let mut scratch = spa_linalg::RowScratch::new(model.dim());
+            let view = model.advice_into(owner.advice_factors(), &mut scratch)?;
+            selection.partial_fit_view(view, responded)
+        })
     }
 
     /// Batch propensity scoring in **input order**: each shard scores
     /// its slice of the audience (in parallel under the `parallel`
-    /// feature), then results scatter back to the caller's order.
+    /// feature) through its zero-allocation cached advice-row path
+    /// ([`Spa::score_user_with`]) against the **global** selection
+    /// function, then results scatter back to the caller's order.
     /// Bit-identical to [`Spa::score_users`] over the same stream and
     /// training data, at any shard count and thread count.
     pub fn score_users(&self, users: &[UserId]) -> Result<Vec<(UserId, f64)>> {
@@ -382,8 +387,9 @@ impl ShardedSpa {
             by_shard[index]
                 .iter()
                 .map(|&position| {
-                    let row = self.shards[index].advice_row(users[position])?;
-                    Ok((position, self.selection.score(&row)?))
+                    let score =
+                        self.shards[index].score_user_with(&self.selection, users[position])?;
+                    Ok((position, score))
                 })
                 .collect()
         };
@@ -421,6 +427,54 @@ impl ShardedSpa {
         let mut scored = self.score_users(users)?;
         SelectionFunction::sort_by_propensity(&mut scored);
         Ok(scored)
+    }
+
+    /// The best `k` users by propensity — exactly
+    /// `rank(users)[..k]`. Each shard scores its audience slice and
+    /// keeps only its own top `k` (any global top-`k` user is top-`k`
+    /// within its shard), so the merge handles at most `shards × k`
+    /// candidates and a final [`SelectionFunction::top_k_by_propensity`]
+    /// under the one shared comparator reproduces the global prefix —
+    /// no full audience sort anywhere.
+    pub fn rank_top_k(&self, users: &[UserId], k: usize) -> Result<Vec<(UserId, f64)>> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (position, &user) in users.iter().enumerate() {
+            by_shard[shard_index(user, self.shards.len())].push(position);
+        }
+        let top_of_shard = |index: usize| -> Result<Vec<(UserId, f64)>> {
+            let mut scored = by_shard[index]
+                .iter()
+                .map(|&position| {
+                    let user = users[position];
+                    Ok((user, self.shards[index].score_user_with(&self.selection, user)?))
+                })
+                .collect::<Result<Vec<(UserId, f64)>>>()?;
+            SelectionFunction::top_k_by_propensity(&mut scored, k);
+            Ok(scored)
+        };
+        let per_shard: Vec<Result<Vec<(UserId, f64)>>>;
+        #[cfg(feature = "parallel")]
+        {
+            per_shard = if self.shards.len() > 1
+                && users.len() >= spa_ml::PARALLEL_BATCH_THRESHOLD
+                && rayon::current_num_threads() > 1
+            {
+                use rayon::prelude::*;
+                (0..self.shards.len()).into_par_iter().map(top_of_shard).collect()
+            } else {
+                (0..self.shards.len()).map(top_of_shard).collect()
+            };
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            per_shard = (0..self.shards.len()).map(top_of_shard).collect();
+        }
+        let mut merged: Vec<(UserId, f64)> = Vec::with_capacity(k.min(users.len()));
+        for part in per_shard {
+            merged.extend(part?);
+        }
+        SelectionFunction::top_k_by_propensity(&mut merged, k);
+        Ok(merged)
     }
 
     /// Registers a campaign's appeal attributes on **every** shard (any
@@ -540,6 +594,31 @@ mod tests {
         sharded.ingest(&event).unwrap();
         sharded.observe_outcome(known, true).unwrap();
         assert!(sharded.selection().is_trained());
+    }
+
+    #[test]
+    fn sharded_rank_top_k_equals_rank_prefix() {
+        let mut sharded = ShardedSpa::new(&courses(), SpaConfig::default(), 5).unwrap();
+        let users: Vec<UserId> = (0..90).map(UserId::new).collect();
+        for (i, &user) in users.iter().enumerate() {
+            let event = eit_event(&sharded, user, i as u64, (i as f64 / 90.0) * 2.0 - 1.0);
+            sharded.ingest(&event).unwrap();
+        }
+        let mut data = spa_ml::Dataset::new(75);
+        for &user in &users {
+            let row = sharded.advice_row(user).unwrap();
+            data.push(&row, if row.get(65) > 0.5 { 1.0 } else { -1.0 }).unwrap();
+        }
+        sharded.train_selection(&data).unwrap();
+        let full = sharded.rank(&users).unwrap();
+        for k in [0usize, 1, 17, 89, 90, 300] {
+            let top = sharded.rank_top_k(&users, k).unwrap();
+            assert_eq!(top.len(), k.min(users.len()));
+            for ((ua, sa), (ub, sb)) in top.iter().zip(full.iter()) {
+                assert_eq!(ua, ub, "k={k}: sharded top-k order diverges");
+                assert_eq!(sa.to_bits(), sb.to_bits(), "k={k}: sharded top-k score diverges");
+            }
+        }
     }
 
     #[test]

@@ -17,13 +17,58 @@
 //!    recommendation reinforces the attributes its message appealed to;
 //!    ignoring it weakens them.
 
+use crate::fastmap::FastIdMap;
 use parking_lot::RwLock;
-use spa_linalg::SparseVec;
+use spa_linalg::{RowScratch, RowView, SparseVec};
 use spa_store::{ProfileStore, UserProfile};
 use spa_types::{
     AttributeId, AttributeKind, AttributeSchema, Result, SpaError, Timestamp, UserId, Valence,
 };
-use std::collections::HashMap;
+
+/// Precomputed per-attribute advice coefficients.
+///
+/// The advice-stage factor of an attribute is
+/// `(1 + valence · relevance).max(0)` for emotional attributes and `1`
+/// for the rest. Only `relevance` varies per user — the valence and the
+/// emotional/non-emotional split are fixed by the immutable
+/// [`AttributeSchema`] — so the schema part is folded once into a flat
+/// coefficient table (`valence` for emotional attributes, `0.0`
+/// otherwise) and the hot scoring loop never touches the schema again.
+/// `(1 + 0·r).max(0) ≡ 1`, so one branch-free formula covers both kinds
+/// bit-identically.
+#[derive(Debug, Clone)]
+pub struct AdviceFactors {
+    coeffs: Vec<f64>,
+}
+
+impl AdviceFactors {
+    /// Builds the coefficient table for a schema.
+    pub fn new(schema: &AttributeSchema) -> Self {
+        let coeffs = schema
+            .iter()
+            .map(|def| if def.kind == AttributeKind::Emotional { def.valence.value() } else { 0.0 })
+            .collect();
+        Self { coeffs }
+    }
+
+    /// Attribute dimensionality.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// True for a zero-attribute schema.
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The advice factor of attribute `index` at `relevance` — exactly
+    /// the value [`SmartUserModel::advice_row`] derives from the schema.
+    #[inline]
+    pub fn factor(&self, index: usize, relevance: f64) -> f64 {
+        (1.0 + self.coeffs[index] * relevance).max(0.0)
+    }
+}
 
 /// Tunable constants of the SUM update rules.
 #[derive(Debug, Clone)]
@@ -248,10 +293,68 @@ impl SmartUserModel {
         SparseVec::from_pairs(self.values.len(), pairs)
     }
 
+    /// [`SmartUserModel::advice_row`] written into a reusable
+    /// [`RowScratch`] instead of a fresh allocation — the zero-allocation
+    /// form the campaign-scoring hot path uses. The returned view
+    /// borrows the scratch buffers; contents are bit-identical to
+    /// `advice_row(schema)` for the schema `factors` was built from.
+    pub fn advice_into<'a>(
+        &self,
+        factors: &AdviceFactors,
+        scratch: &'a mut RowScratch,
+    ) -> Result<RowView<'a>> {
+        if factors.len() != self.values.len() {
+            return Err(SpaError::DimensionMismatch {
+                got: factors.len(),
+                expected: self.values.len(),
+            });
+        }
+        scratch.reset(self.values.len());
+        for (i, (&v, &r)) in self.values.iter().zip(self.relevance.iter()).enumerate() {
+            if r > 0.0 {
+                scratch.push(i as u32, (v * factors.factor(i, r)).max(1e-9));
+            }
+        }
+        Ok(scratch.view())
+    }
+
+    /// [`SmartUserModel::advice_row`] written compactly into caller
+    /// buffers: the row's `(index, value)` entries land at the front of
+    /// `indices`/`values` (ascending, the [`spa_linalg::RowView`]
+    /// invariants) and the entry count is returned. This is the
+    /// advice-row cache's fill kernel — it writes straight into the
+    /// cache's contiguous slot arrays.
+    ///
+    /// # Panics
+    /// When `factors` or the buffers disagree with the model dimension
+    /// (all derive from the platform schema, so a mismatch is a bug).
+    pub fn advice_compact_into(
+        &self,
+        factors: &AdviceFactors,
+        indices: &mut [u32],
+        values: &mut [f64],
+    ) -> usize {
+        assert_eq!(factors.len(), self.values.len(), "advice factors built for another schema");
+        assert_eq!(indices.len(), self.values.len(), "index buffer has the wrong dimension");
+        assert_eq!(values.len(), self.values.len(), "value buffer has the wrong dimension");
+        let mut n = 0usize;
+        for (i, (&v, &r)) in self.values.iter().zip(self.relevance.iter()).enumerate() {
+            if r > 0.0 {
+                indices[n] = i as u32;
+                values[n] = (v * factors.factor(i, r)).max(1e-9);
+                n += 1;
+            }
+        }
+        n
+    }
+
     /// Emotional attributes whose estimate exceeds the configured
     /// sensibility threshold, sorted by estimate descending — the
     /// "dominant sensibilities" of §5.3. `emotional_ids` is the schema's
-    /// emotional block (see [`AttributeSchema::emotional_ids`]).
+    /// emotional block (see [`AttributeSchema::emotional_ids`]). Tied
+    /// estimates break by ascending attribute id (the same determinism
+    /// contract as [`crate::selection::SelectionFunction::sort_by_propensity`]),
+    /// so the result never depends on the input order of `emotional_ids`.
     pub fn dominant_sensibilities(
         &self,
         emotional_ids: &[AttributeId],
@@ -263,7 +366,9 @@ impl SmartUserModel {
             .map(|&a| (a, self.value(a)))
             .filter(|&(_, v)| v >= config.sensibility_threshold)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
         out
     }
 }
@@ -273,7 +378,7 @@ impl SmartUserModel {
 pub struct SumRegistry {
     dim: usize,
     config: SumConfig,
-    shards: Vec<RwLock<HashMap<u32, SmartUserModel>>>,
+    shards: Vec<RwLock<FastIdMap<SmartUserModel>>>,
 }
 
 const SHARDS: usize = 32;
@@ -281,7 +386,11 @@ const SHARDS: usize = 32;
 impl SumRegistry {
     /// Creates an empty registry for `dim`-attribute models.
     pub fn new(dim: usize, config: SumConfig) -> Self {
-        Self { dim, config, shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect() }
+        Self {
+            dim,
+            config,
+            shards: (0..SHARDS).map(|_| RwLock::new(FastIdMap::default())).collect(),
+        }
     }
 
     /// The update-rule configuration.
@@ -294,7 +403,7 @@ impl SumRegistry {
         self.dim
     }
 
-    fn shard(&self, user: UserId) -> &RwLock<HashMap<u32, SmartUserModel>> {
+    fn shard(&self, user: UserId) -> &RwLock<FastIdMap<SmartUserModel>> {
         &self.shards[user.raw() as usize % SHARDS]
     }
 
@@ -324,13 +433,29 @@ impl SumRegistry {
         f(model, &self.config)
     }
 
-    /// Sorted user ids present in the registry.
+    /// Applies `f` to a *borrowed* model under the shard read lock —
+    /// the clone-free counterpart of [`SumRegistry::get`] for hot read
+    /// paths (`None` when the user has no model). Keep `f` short: it
+    /// runs with the shard read-locked.
+    pub fn with_model_read<T>(
+        &self,
+        user: UserId,
+        f: impl FnOnce(Option<&SmartUserModel>) -> T,
+    ) -> T {
+        let shard = self.shard(user).read();
+        f(shard.get(&user.raw()))
+    }
+
+    /// Sorted user ids present in the registry. Collected with one
+    /// reservation + extend per shard read lock — no intermediate
+    /// per-shard `Vec`s.
     pub fn user_ids(&self) -> Vec<UserId> {
-        let mut ids: Vec<UserId> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.read().keys().map(|&k| UserId::new(k)).collect::<Vec<_>>())
-            .collect();
+        let mut ids: Vec<UserId> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            ids.reserve(guard.len());
+            ids.extend(guard.keys().map(|&k| UserId::new(k)));
+        }
         ids.sort_unstable();
         ids
     }
@@ -539,6 +664,98 @@ mod tests {
     fn advice_row_checks_schema_dimension() {
         let m = SmartUserModel::new(UserId::new(1), 10);
         assert!(m.advice_row(&schema()).is_err());
+    }
+
+    /// A model with mixed objective/subjective/emotional coverage, for
+    /// advice-path equivalence tests.
+    fn mixed_model(s: &AttributeSchema) -> SmartUserModel {
+        let config = SumConfig::default();
+        let mut m = SmartUserModel::new(UserId::new(7), 75);
+        m.set_observed(AttributeId::new(0), 0.4).unwrap();
+        m.set_observed(AttributeId::new(17), 0.0).unwrap(); // floored at 1e-9
+        m.observe_subjective(AttributeId::new(44), 0.6, &config).unwrap();
+        for (ordinal, v) in [(0usize, 0.9), (6, 0.5), (9, -0.7)] {
+            for _ in 0..3 {
+                m.apply_eit_answer(emo_attr(s, ordinal), ordinal, Valence::new(v), &config)
+                    .unwrap();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn advice_into_is_bit_identical_to_advice_row() {
+        let s = schema();
+        let m = mixed_model(&s);
+        let factors = AdviceFactors::new(&s);
+        let reference = m.advice_row(&s).unwrap();
+        let mut scratch = RowScratch::new(0);
+        let view = m.advice_into(&factors, &mut scratch).unwrap();
+        assert_eq!(view.indices(), reference.indices());
+        for (a, b) in view.values().iter().zip(reference.values().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "advice_into diverges from advice_row");
+        }
+        // refill after a mutation stays equivalent (no stale entries)
+        let mut m2 = m.clone();
+        m2.reward(&[emo_attr(&s, 0)], &SumConfig::default()).unwrap();
+        let reference2 = m2.advice_row(&s).unwrap();
+        let view2 = m2.advice_into(&factors, &mut scratch).unwrap();
+        assert_eq!(view2.indices(), reference2.indices());
+        for (a, b) in view2.values().iter().zip(reference2.values().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn advice_compact_into_matches_advice_row() {
+        let s = schema();
+        let m = mixed_model(&s);
+        let factors = AdviceFactors::new(&s);
+        let reference = m.advice_row(&s).unwrap();
+        let mut indices = [u32::MAX; 75]; // pre-poisoned
+        let mut values = [f64::NAN; 75];
+        let n = m.advice_compact_into(&factors, &mut indices, &mut values);
+        assert_eq!(n, reference.nnz());
+        assert_eq!(&indices[..n], reference.indices());
+        for (a, b) in values[..n].iter().zip(reference.values().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "compact advice row diverges");
+        }
+    }
+
+    #[test]
+    fn advice_into_checks_dimensions() {
+        let s = schema();
+        let m = SmartUserModel::new(UserId::new(1), 10);
+        let factors = AdviceFactors::new(&s);
+        let mut scratch = RowScratch::new(0);
+        assert!(m.advice_into(&factors, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn with_model_read_borrows_without_cloning() {
+        let reg = SumRegistry::new(75, SumConfig::default());
+        assert!(reg.with_model_read(UserId::new(3), |m| m.is_none()));
+        reg.with_model(UserId::new(3), |m, _| m.set_observed(AttributeId::new(2), 0.8).unwrap());
+        let value = reg.with_model_read(UserId::new(3), |m| m.unwrap().value(AttributeId::new(2)));
+        assert_eq!(value, 0.8);
+    }
+
+    #[test]
+    fn dominant_sensibilities_break_ties_by_ascending_attribute_id() {
+        let s = schema();
+        let config = SumConfig::default();
+        let mut m = SmartUserModel::new(UserId::new(1), 75);
+        let ids = s.emotional_ids();
+        // three attributes pinned to the *same* estimate above threshold
+        for &ordinal in &[4usize, 1, 8] {
+            m.set_observed(ids[ordinal], 0.75).unwrap();
+        }
+        let dom = m.dominant_sensibilities(&ids, &config);
+        let order: Vec<u32> = dom.iter().map(|(a, _)| a.raw()).collect();
+        assert_eq!(order, vec![ids[1].raw(), ids[4].raw(), ids[8].raw()]);
+        // and the order must not depend on how emotional_ids is permuted
+        let reversed: Vec<AttributeId> = ids.iter().rev().copied().collect();
+        assert_eq!(m.dominant_sensibilities(&reversed, &config), dom);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Reusable sparse-row scratch buffers.
+//!
+//! The campaign-scoring hot path builds one advice row per user scored.
+//! Allocating a fresh [`SparseVec`] for each (as the first
+//! implementation did) costs two heap allocations per score — O(users)
+//! allocations per campaign sweep. A [`RowScratch`] is a pair of
+//! caller-owned index/value buffers that a producer *writes into* and
+//! then reborrows as a zero-copy [`RowView`], so a worker thread builds
+//! millions of rows with zero allocations after warm-up.
+
+use crate::row::RowView;
+use crate::sparse::SparseVec;
+
+/// A reusable sparse-row buffer: cleared and refilled in place, read
+/// back as a borrowed [`RowView`]. Capacity is retained across
+/// [`RowScratch::reset`] calls, so steady-state refills never allocate.
+#[derive(Debug, Clone, Default)]
+pub struct RowScratch {
+    dim: usize,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl RowScratch {
+    /// An empty scratch row of logical dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// An empty scratch row with room for `capacity` entries.
+    pub fn with_capacity(dim: usize, capacity: usize) -> Self {
+        Self { dim, indices: Vec::with_capacity(capacity), values: Vec::with_capacity(capacity) }
+    }
+
+    /// Logical dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of entries currently stored.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Clears the entries and (re)sets the logical dimension, keeping
+    /// the allocated capacity.
+    #[inline]
+    pub fn reset(&mut self, dim: usize) {
+        self.dim = dim;
+        self.indices.clear();
+        self.values.clear();
+    }
+
+    /// Appends one entry. Producers must push strictly increasing
+    /// in-range indices with non-zero finite values — the [`SparseVec`]
+    /// invariants — checked in debug builds only, exactly like
+    /// [`RowView::new`].
+    #[inline]
+    pub fn push(&mut self, index: u32, value: f64) {
+        debug_assert!((index as usize) < self.dim, "scratch push: index {index} out of dimension");
+        debug_assert!(
+            self.indices.last().is_none_or(|&last| last < index),
+            "scratch push: indices must be strictly increasing"
+        );
+        debug_assert!(value != 0.0 && value.is_finite(), "scratch push: value must be finite ≠ 0");
+        self.indices.push(index);
+        self.values.push(value);
+    }
+
+    /// Reborrows the current contents as a zero-copy [`RowView`].
+    #[inline]
+    pub fn view(&self) -> RowView<'_> {
+        RowView::new(self.dim, &self.indices, &self.values)
+    }
+
+    /// Copies the current contents into an owned [`SparseVec`].
+    pub fn to_sparse_vec(&self) -> SparseVec {
+        self.view().to_owned_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::SparseRow;
+
+    #[test]
+    fn reset_refill_reuses_capacity() {
+        let mut s = RowScratch::with_capacity(8, 4);
+        s.push(1, 2.0);
+        s.push(5, -1.0);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.view().get(5), -1.0);
+        let cap_before = s.indices.capacity();
+        s.reset(8);
+        assert_eq!(s.nnz(), 0);
+        s.push(0, 3.0);
+        assert_eq!(s.indices.capacity(), cap_before, "reset must keep capacity");
+    }
+
+    #[test]
+    fn view_matches_sparse_vec() {
+        let mut s = RowScratch::new(6);
+        s.push(0, 1.0);
+        s.push(2, 2.0);
+        s.push(5, 3.0);
+        let owned = s.to_sparse_vec();
+        assert_eq!(owned, SparseVec::from_pairs(6, [(0, 1.0), (2, 2.0), (5, 3.0)]).unwrap());
+        let dense: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        assert_eq!(s.view().dot_dense(&dense), owned.dot_dense(&dense));
+    }
+
+    #[test]
+    fn reset_changes_dimension() {
+        let mut s = RowScratch::new(4);
+        s.push(3, 1.0);
+        s.reset(10);
+        assert_eq!(s.dim(), 10);
+        s.push(9, 1.0);
+        assert_eq!(s.view().dim(), 10);
+    }
+}

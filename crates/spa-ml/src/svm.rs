@@ -133,6 +133,30 @@ impl LinearSvm {
         }
     }
 
+    /// One Pegasos step on a single borrowed example — the zero-copy
+    /// form of [`OnlineLearner::partial_fit`] (which delegates here), so
+    /// incremental updates can run off scratch-built rows without
+    /// materializing a [`SparseVec`].
+    pub fn partial_fit_view(&mut self, x: RowView<'_>, y: f64) -> Result<()> {
+        self.check_dim(x.dim())?;
+        if y != 1.0 && y != -1.0 {
+            return Err(SpaError::Invalid(format!("label must be ±1.0, got {y}")));
+        }
+        self.t += 1;
+        let eta = 1.0 / (self.config.lambda * self.t as f64);
+        let shrink = 1.0 - eta * self.config.lambda;
+        spa_linalg::dense::scale(shrink, &mut self.weights);
+        self.bias *= shrink;
+        let margin = y * (x.dot_dense(&self.weights) + self.bias);
+        if margin < 1.0 {
+            let w = if y > 0.0 { self.config.positive_weight } else { 1.0 };
+            x.add_scaled_into(eta * w * y, &mut self.weights);
+            self.bias += eta * w * y;
+        }
+        self.trained = true;
+        Ok(())
+    }
+
     /// Average hinge loss + L2 penalty on a dataset (the primal
     /// objective; useful for convergence tests).
     pub fn objective(&self, data: &Dataset) -> Result<f64> {
@@ -193,23 +217,7 @@ impl Classifier for LinearSvm {
 
 impl OnlineLearner for LinearSvm {
     fn partial_fit(&mut self, x: &SparseVec, y: f64) -> Result<()> {
-        self.check_dim(x.dim())?;
-        if y != 1.0 && y != -1.0 {
-            return Err(SpaError::Invalid(format!("label must be ±1.0, got {y}")));
-        }
-        self.t += 1;
-        let eta = 1.0 / (self.config.lambda * self.t as f64);
-        let shrink = 1.0 - eta * self.config.lambda;
-        spa_linalg::dense::scale(shrink, &mut self.weights);
-        self.bias *= shrink;
-        let margin = y * (x.dot_dense(&self.weights) + self.bias);
-        if margin < 1.0 {
-            let w = if y > 0.0 { self.config.positive_weight } else { 1.0 };
-            x.add_scaled_into(eta * w * y, &mut self.weights);
-            self.bias += eta * w * y;
-        }
-        self.trained = true;
-        Ok(())
+        self.partial_fit_view(x.view(), y)
     }
 }
 
@@ -323,6 +331,22 @@ mod tests {
             }
         }
         assert!(correct as f64 / data.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn partial_fit_view_matches_partial_fit_bit_for_bit() {
+        let data = separable(200, 3, 12);
+        let mut owned = LinearSvm::with_dim(3);
+        let mut viewed = LinearSvm::with_dim(3);
+        for r in 0..data.len() {
+            let row = data.x.row_vec(r);
+            owned.partial_fit(&row, data.y[r]).unwrap();
+            viewed.partial_fit_view(data.x.row(r), data.y[r]).unwrap();
+        }
+        for (a, b) in owned.weights().iter().zip(viewed.weights().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(owned.bias().to_bits(), viewed.bias().to_bits());
     }
 
     #[test]

@@ -74,6 +74,42 @@ struct Writer {
     segment_bytes: u64,
     events_appended: u64,
     scratch: BytesMut,
+    /// Frame accumulator for batch appends: whole batches (up to a
+    /// segment roll) land in one `write_all` instead of one per event.
+    batch: Vec<u8>,
+    /// Set after a failed frame write. The active segment may end in a
+    /// torn frame, so accepting further appends would bury acknowledged
+    /// events *behind* the tear — recovery truncates at the first torn
+    /// frame and would silently discard them. Poisoned logs refuse all
+    /// appends; reopen through recovery.
+    poisoned: bool,
+}
+
+impl Writer {
+    fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(SpaError::Corrupt(
+                "event log poisoned by an earlier write failure; reopen via recovery".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Writes the accumulated batch frames in one call. The buffer is
+    /// cleared on success *and* failure; a failure poisons the writer
+    /// (the segment may hold a torn frame) — rebuild via recovery,
+    /// never retry frames.
+    fn flush_batch(&mut self) -> Result<()> {
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        let result = self.file.write_all(&self.batch);
+        self.batch.clear();
+        if result.is_err() {
+            self.poisoned = true;
+        }
+        result.map_err(Into::into)
+    }
 }
 
 /// A durable, append-only LifeLog event store over a directory of
@@ -160,6 +196,8 @@ impl EventLog {
                 segment_bytes: existing_bytes,
                 events_appended: 0,
                 scratch: BytesMut::with_capacity(64),
+                batch: Vec::new(),
+                poisoned: false,
             }),
         })
     }
@@ -169,42 +207,74 @@ impl EventLog {
         Self::open(dir, LogConfig::default())
     }
 
-    /// Appends one event, rolling the segment when full.
+    /// Appends one event, rolling the segment when full. The frame is
+    /// encoded into the writer's scratch buffer and written from it
+    /// directly — no per-append allocation.
+    ///
+    /// A failed write poisons the log (the active segment may end in a
+    /// torn frame); every later append fails fast instead of burying
+    /// acknowledged events behind the tear, where recovery's
+    /// torn-tail truncation would silently discard them. Reopen
+    /// through [`EventLog::open_recover`] / [`EventLog::open`].
     pub fn append(&self, event: &LifeLogEvent) -> Result<()> {
-        let mut w = self.writer.lock();
+        let mut guard = self.writer.lock();
+        let w = &mut *guard;
+        w.check_poisoned()?;
         w.scratch.clear();
         encode_frame(event, &mut w.scratch);
         let frame_len = w.scratch.len() as u64;
         if w.segment_bytes > 0 && w.segment_bytes + frame_len > self.config.segment_bytes {
-            self.roll_locked(&mut w)?;
+            if let Err(e) = self.roll_locked(w) {
+                w.poisoned = true;
+                return Err(e);
+            }
         }
-        let frame = w.scratch.split().freeze();
-        w.file.write_all(&frame)?;
+        if let Err(e) = w.file.write_all(&w.scratch) {
+            w.poisoned = true;
+            return Err(e.into());
+        }
         w.segment_bytes += frame_len;
         w.events_appended += 1;
         Ok(())
     }
 
-    /// Appends a batch of events (one lock acquisition).
+    /// Appends a batch of events: one lock acquisition, and frames are
+    /// accumulated and written **once per segment** rather than once
+    /// per event (the grouped write is what keeps write-ahead
+    /// durability cheap for the sharded platform's per-shard
+    /// sub-batches). The byte stream produced is identical to
+    /// appending each event individually.
+    ///
+    /// Like [`EventLog::append`], a write failure poisons the log —
+    /// the returned count only reflects durably buffered frames up to
+    /// the failure, and all later appends fail fast until the log is
+    /// reopened through recovery.
     pub fn append_batch<'a>(
         &self,
         events: impl IntoIterator<Item = &'a LifeLogEvent>,
     ) -> Result<usize> {
-        let mut w = self.writer.lock();
+        let mut guard = self.writer.lock();
+        let w = &mut *guard;
+        w.check_poisoned()?;
         let mut appended = 0usize;
+        debug_assert!(w.batch.is_empty());
         for event in events {
             w.scratch.clear();
             encode_frame(event, &mut w.scratch);
             let frame_len = w.scratch.len() as u64;
             if w.segment_bytes > 0 && w.segment_bytes + frame_len > self.config.segment_bytes {
-                self.roll_locked(&mut w)?;
+                w.flush_batch()?;
+                if let Err(e) = self.roll_locked(w) {
+                    w.poisoned = true;
+                    return Err(e);
+                }
             }
-            let frame = w.scratch.split().freeze();
-            w.file.write_all(&frame)?;
+            w.batch.extend_from_slice(&w.scratch);
             w.segment_bytes += frame_len;
             w.events_appended += 1;
             appended += 1;
         }
+        w.flush_batch()?;
         Ok(appended)
     }
 
@@ -444,6 +514,40 @@ mod tests {
         assert_eq!(log.replay().unwrap().len(), 50);
         assert_eq!(log.stats().unwrap().events_appended, 50);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_append_bytes_match_single_appends_across_rolls() {
+        let config = LogConfig { segment_bytes: 256, fsync: false };
+        let events: Vec<_> = (0..120).map(event).collect();
+        let dir_single = tmp_dir("bytes-single");
+        {
+            let log = EventLog::open(&dir_single, config.clone()).unwrap();
+            for e in &events {
+                log.append(e).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        let dir_batch = tmp_dir("bytes-batch");
+        {
+            let log = EventLog::open(&dir_batch, config).unwrap();
+            // split into uneven sub-batches to cross roll boundaries
+            // mid-batch and at batch edges
+            assert_eq!(log.append_batch(events[..7].iter()).unwrap(), 7);
+            assert_eq!(log.append_batch(events[7..90].iter()).unwrap(), 83);
+            assert_eq!(log.append_batch(events[90..].iter()).unwrap(), 30);
+            log.flush().unwrap();
+        }
+        let single = list_segments(&dir_single).unwrap();
+        let batch = list_segments(&dir_batch).unwrap();
+        assert_eq!(single.len(), batch.len(), "segment layout diverges");
+        for ((i_s, p_s), (i_b, p_b)) in single.iter().zip(batch.iter()) {
+            assert_eq!(i_s, i_b);
+            assert_eq!(fs::read(p_s).unwrap(), fs::read(p_b).unwrap(), "segment {i_s} diverges");
+        }
+        assert_eq!(EventLog::replay_dir(&dir_batch).unwrap(), events);
+        let _ = fs::remove_dir_all(&dir_single);
+        let _ = fs::remove_dir_all(&dir_batch);
     }
 
     #[test]

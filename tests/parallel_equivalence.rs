@@ -96,6 +96,67 @@ fn cross_validation_parallel_matches_serial() {
     }
 }
 
+/// The cached batch-scoring engine (`Spa::score_users` / `rank_top_k`)
+/// under parallel fan-out: at every thread count, with cold and warm
+/// caches, the output is bit-identical to the serial cache-free
+/// reference (`selection().score(&advice_row(user))`).
+#[test]
+fn cached_score_users_is_identical_across_thread_counts() {
+    let courses = CourseCatalog::generate(25, 5, 3).unwrap();
+    // enough users to cross PARALLEL_BATCH_THRESHOLD (2048)
+    let n_users = 2600u32;
+    let mut spa = Spa::new(&courses, SpaConfig::default());
+    let users: Vec<UserId> = (0..n_users).map(UserId::new).collect();
+    for (i, &user) in users.iter().enumerate() {
+        let question = spa.next_eit_question(user).id;
+        spa.ingest(&LifeLogEvent::new(
+            user,
+            Timestamp::from_millis(i as u64),
+            EventKind::EitAnswer {
+                question,
+                answer: Valence::new((i as f64 / n_users as f64) * 2.0 - 1.0),
+            },
+        ))
+        .unwrap();
+    }
+    let mut data = Dataset::new(75);
+    for &user in users.iter().step_by(3) {
+        let row = spa.advice_row(user).unwrap();
+        data.push(&row, if row.get(65) > 0.5 { 1.0 } else { -1.0 }).unwrap();
+    }
+    spa.train_selection(&data).unwrap();
+
+    let reference: Vec<(UserId, f64)> = users
+        .iter()
+        .map(|&user| (user, spa.selection().score(&spa.advice_row(user).unwrap()).unwrap()))
+        .collect();
+    let mut reference_ranked = reference.clone();
+    SelectionFunction::sort_by_propensity(&mut reference_ranked);
+
+    for threads in [1usize, 2, 5] {
+        // two sweeps per thread count: the first fills cold cache rows,
+        // the second reads warm ones — both must match the reference
+        for sweep in 0..2 {
+            let scored = with_threads(threads, || spa.score_users(&users).unwrap());
+            assert_eq!(scored.len(), reference.len());
+            for ((u_a, s_a), (u_b, s_b)) in scored.iter().zip(reference.iter()) {
+                assert_eq!(u_a, u_b, "{threads} threads sweep {sweep}: order diverges");
+                assert!(
+                    s_a.to_bits() == s_b.to_bits(),
+                    "{threads} threads sweep {sweep}: score diverges for {u_a}"
+                );
+            }
+        }
+        let k = 400;
+        let top = with_threads(threads, || spa.rank_top_k(&users, k).unwrap());
+        assert_eq!(top.len(), k);
+        for ((u_a, s_a), (u_b, s_b)) in top.iter().zip(reference_ranked.iter()) {
+            assert_eq!(u_a, u_b, "{threads} threads: top-k diverges");
+            assert!(s_a.to_bits() == s_b.to_bits());
+        }
+    }
+}
+
 /// The full Fig 6 experiment — history build-up, training campaigns,
 /// selection training, parallel eval-campaign scoring — is byte-stable
 /// across thread counts: every contact record, campaign report and

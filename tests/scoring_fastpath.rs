@@ -1,0 +1,128 @@
+//! Differential tests for the zero-allocation scoring engine.
+//!
+//! `Spa::score_users` serves campaign sweeps through an epoch-versioned
+//! dense advice-row cache plus precomputed advice factors. These
+//! proptests interleave arbitrary ingest (cache invalidation), batch
+//! scoring, top-k ranking and incremental selection updates, asserting
+//! after every step that the cached engine is **bit-identical** to a
+//! cache-free reference recomputed from first principles
+//! (`selection().score(&advice_row(user))` — the pre-cache formulation,
+//! kept as the reference path).
+
+use proptest::prelude::*;
+use spa::prelude::*;
+
+const N_USERS: u32 = 40;
+
+fn platform() -> (Spa, Vec<UserId>) {
+    let courses = CourseCatalog::generate(25, 5, 3).unwrap();
+    let mut spa = Spa::new(&courses, SpaConfig::default());
+    let users: Vec<UserId> = (0..N_USERS).map(UserId::new).collect();
+    // seed every model so observe_outcome is always legal, then train
+    for (i, &user) in users.iter().enumerate() {
+        ingest_answer(&spa, user, i as u64, (i as f64 / N_USERS as f64) * 2.0 - 1.0);
+    }
+    let mut data = Dataset::new(75);
+    for &user in &users {
+        let row = spa.advice_row(user).unwrap();
+        data.push(&row, if row.get(65) > 0.5 { 1.0 } else { -1.0 }).unwrap();
+    }
+    spa.train_selection(&data).unwrap();
+    (spa, users)
+}
+
+fn ingest_answer(spa: &Spa, user: UserId, at: u64, valence: f64) {
+    let question = spa.next_eit_question(user).id;
+    spa.ingest(&LifeLogEvent::new(
+        user,
+        Timestamp::from_millis(at),
+        EventKind::EitAnswer { question, answer: Valence::new(valence) },
+    ))
+    .unwrap();
+}
+
+/// Cache-free reference scores in input order.
+fn reference_scores(spa: &Spa, users: &[UserId]) -> Vec<(UserId, f64)> {
+    users
+        .iter()
+        .map(|&user| (user, spa.selection().score(&spa.advice_row(user).unwrap()).unwrap()))
+        .collect()
+}
+
+fn assert_scored_bits_equal(a: &[(UserId, f64)], b: &[(UserId, f64)], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length diverges");
+    for ((ua, sa), (ub, sb)) in a.iter().zip(b.iter()) {
+        assert_eq!(ua, ub, "{what}: user order diverges");
+        assert!(sa.to_bits() == sb.to_bits(), "{what}: {ua} scores {sa:?} vs {sb:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary interleavings of ingest (which must invalidate cached
+    /// rows), batch scoring, `rank_top_k` and incremental selection
+    /// updates: the cached engine equals the cache-free reference at
+    /// every step, and `rank_top_k(k)` equals the sorted reference
+    /// truncated to `k`, for arbitrary `k`. Each op is a raw
+    /// `(selector, user, valence, k)` tuple: selector 0-2 ingests (the
+    /// common case), 3-4 scores the audience, 5-6 takes a top-k, 7
+    /// folds an outcome into the selection function.
+    #[test]
+    fn cached_scoring_equals_cache_free_reference_under_interleaving(
+        ops in proptest::collection::vec(
+            (0u8..8, 0u32..N_USERS, -1.0f64..1.0, 0usize..(N_USERS as usize + 15)),
+            20..45,
+        ),
+    ) {
+        let (mut spa, users) = platform();
+        let mut at = 10_000u64;
+        for (step, (selector, user_seed, valence, k)) in ops.into_iter().enumerate() {
+            match selector {
+                0..=2 => {
+                    at += 1;
+                    ingest_answer(&spa, users[user_seed as usize], at, valence);
+                }
+                3 | 4 => {
+                    let cached = spa.score_users(&users).unwrap();
+                    let reference = reference_scores(&spa, &users);
+                    assert_scored_bits_equal(&cached, &reference, &format!("step {step} scores"));
+                }
+                5 | 6 => {
+                    let top = spa.rank_top_k(&users, k).unwrap();
+                    let mut reference = reference_scores(&spa, &users);
+                    SelectionFunction::sort_by_propensity(&mut reference);
+                    reference.truncate(k);
+                    assert_scored_bits_equal(&top, &reference, &format!("step {step} top-{k}"));
+                }
+                _ => {
+                    // mutates the selection function: every cached row
+                    // stays valid but all scores change
+                    spa.observe_outcome(users[user_seed as usize], valence > 0.0).unwrap();
+                }
+            }
+        }
+        // closing sweep: a final full comparison after the whole history
+        let cached = spa.score_users(&users).unwrap();
+        let reference = reference_scores(&spa, &users);
+        assert_scored_bits_equal(&cached, &reference, "final sweep");
+        let stats = spa.advice_cache_stats();
+        prop_assert!(stats.hits + stats.misses > 0, "the cache must actually serve the sweeps");
+    }
+
+    /// `rank_top_k(k)` ≡ `rank_users()[..k]` for arbitrary k on a
+    /// platform with a mid-stream mutation (mixed cache hits/misses).
+    #[test]
+    fn rank_top_k_equals_rank_prefix_for_arbitrary_k(
+        k in 0usize..(N_USERS as usize + 20),
+        touched in 0u32..N_USERS,
+        valence in -1.0f64..1.0,
+    ) {
+        let (spa, users) = platform();
+        let _ = spa.score_users(&users).unwrap(); // warm the cache
+        ingest_answer(&spa, users[touched as usize], 99_999, valence); // invalidate one row
+        let full = spa.rank_users(&users).unwrap();
+        let top = spa.rank_top_k(&users, k).unwrap();
+        assert_scored_bits_equal(&top, &full[..k.min(full.len())], "top-k vs rank prefix");
+    }
+}

@@ -167,6 +167,32 @@ fn sharded_platform_matches_single_platform_bit_for_bit() {
             assert_eq!(u_s, u_m, "{shards} shards: ranking diverges");
             assert!(s_s.to_bits() == s_m.to_bits());
         }
+
+        // top-k selection: single and sharded prefixes equal the full
+        // ranking's head, bit for bit, at every k (including ties)
+        for k in [0usize, 1, 2, 39, N_USERS as usize / 2, N_USERS as usize, 1000] {
+            let single_top = single.rank_top_k(&users, k).unwrap();
+            let sharded_top = sharded.rank_top_k(&users, k).unwrap();
+            let expected = &single_ranking[..k.min(single_ranking.len())];
+            assert_eq!(single_top.len(), expected.len(), "k={k}");
+            assert_eq!(sharded_top.len(), expected.len(), "{shards} shards, k={k}");
+            for (((u_a, s_a), (u_b, s_b)), (u_c, s_c)) in
+                single_top.iter().zip(sharded_top.iter()).zip(expected.iter())
+            {
+                assert_eq!(u_a, u_c, "k={k}: single top-k diverges from ranking prefix");
+                assert_eq!(u_b, u_c, "{shards} shards, k={k}: sharded top-k diverges");
+                assert!(s_a.to_bits() == s_c.to_bits());
+                assert!(s_b.to_bits() == s_c.to_bits());
+            }
+        }
+
+        // a second scan (served from the advice-row caches on both
+        // sides) must not drift from the first
+        let rescored = sharded.score_users(&users).unwrap();
+        for ((u_a, s_a), (u_b, s_b)) in rescored.iter().zip(scores.iter()) {
+            assert_eq!(u_a, u_b);
+            assert!(s_a.to_bits() == s_b.to_bits(), "{shards} shards: cached rescan diverges");
+        }
     }
 }
 
@@ -178,7 +204,9 @@ fn sharded_results_are_identical_across_thread_counts() {
     let stream = build_stream(&courses);
     let users: Vec<UserId> = (0..N_USERS).map(UserId::new).collect();
 
-    let run = |threads: usize| -> (Vec<(UserId, f64)>, spa::core::preprocessor::PreprocessorStats) {
+    type ThreadRun =
+        (Vec<(UserId, f64)>, Vec<(UserId, f64)>, spa::core::preprocessor::PreprocessorStats);
+    let run = |threads: usize| -> ThreadRun {
         with_threads(threads, || {
             let mut sharded = ShardedSpa::new(&courses, SpaConfig::default(), 7).unwrap();
             sharded.register_campaign(CampaignId::new(1), &[EmotionalAttribute::Hopeful]);
@@ -190,17 +218,26 @@ fn sharded_results_are_identical_across_thread_counts() {
                 training_data(&single, &users)
             };
             sharded.train_selection(&reference).unwrap();
-            (sharded.rank(&users).unwrap(), sharded.stats())
+            (
+                sharded.rank(&users).unwrap(),
+                sharded.rank_top_k(&users, 25).unwrap(),
+                sharded.stats(),
+            )
         })
     };
 
-    let (rank_1, stats_1) = run(1);
+    let (rank_1, top_1, stats_1) = run(1);
+    assert_eq!(top_1.len(), 25);
     for threads in [2usize, 5] {
-        let (rank_n, stats_n) = run(threads);
+        let (rank_n, top_n, stats_n) = run(threads);
         assert_eq!(stats_1, stats_n, "{threads} threads: stats diverge");
         assert_eq!(rank_1.len(), rank_n.len());
         for ((u_a, s_a), (u_b, s_b)) in rank_1.iter().zip(rank_n.iter()) {
             assert_eq!(u_a, u_b, "{threads} threads: ranking diverges");
+            assert!(s_a.to_bits() == s_b.to_bits());
+        }
+        for ((u_a, s_a), (u_b, s_b)) in top_1.iter().zip(top_n.iter()) {
+            assert_eq!(u_a, u_b, "{threads} threads: top-k diverges");
             assert!(s_a.to_bits() == s_b.to_bits());
         }
     }
