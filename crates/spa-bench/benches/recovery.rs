@@ -1,0 +1,198 @@
+//! Bounded-time recovery: restart cost vs history length, with and
+//! without a snapshot checkpoint.
+//!
+//! The claim under test (ISSUE 4 acceptance): full-replay recovery time
+//! grows with the event history, while snapshot + tail-replay recovery
+//! is independent of how much history lies *behind* the checkpoint —
+//! the restart pays O(live state + tail), not O(events ever ingested).
+//! Also measures what the checkpoint itself costs (serialize + fsync +
+//! rename per shard) and what compaction reclaims.
+//!
+//! Run: `cargo bench -p spa-bench --bench recovery`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spa_core::platform::SpaConfig;
+use spa_core::shard::ShardedSpa;
+use spa_store::log::LogConfig;
+use spa_store::{EventLog, ShardedEventLog};
+use spa_synth::catalog::CourseCatalog;
+use spa_types::{ActionId, CourseId, EventKind, LifeLogEvent, ShardId, Timestamp, UserId};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+
+const SHARDS: usize = 8;
+/// Small segments so histories span many files and compaction /
+/// tail-skipping are exercised for real.
+fn log_config() -> LogConfig {
+    LogConfig { segment_bytes: 256 * 1024, fsync: false }
+}
+
+/// Many events per user (5 000 distinct users): recovery cost is then
+/// dominated by history length for full replay but by live-state size
+/// for snapshot loading — the contrast under test.
+fn action_stream(n: usize, base: u64) -> Vec<LifeLogEvent> {
+    (0..n as u32)
+        .map(|raw| {
+            LifeLogEvent::new(
+                UserId::new(raw % 5_000),
+                Timestamp::from_millis(base + raw as u64),
+                EventKind::Action {
+                    action: ActionId::new(raw % 984),
+                    course: Some(CourseId::new(raw % 25)),
+                },
+            )
+        })
+        .collect()
+}
+
+fn fresh_root(tag: &str) -> PathBuf {
+    let root =
+        std::env::temp_dir().join(format!("spa-bench-recovery-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let target = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &target);
+        } else {
+            std::fs::copy(entry.path(), &target).unwrap();
+        }
+    }
+}
+
+/// History of `n` events, no checkpoint: recovery must replay it all.
+fn prepare_full(courses: &CourseCatalog, n: usize, tag: &str) -> PathBuf {
+    let root = fresh_root(tag);
+    let platform =
+        ShardedSpa::with_log(courses, SpaConfig::default(), SHARDS, &root, log_config()).unwrap();
+    platform.ingest_batch(action_stream(n, 0).iter()).unwrap();
+    platform.flush().unwrap();
+    root
+}
+
+/// History of `n` events behind a checkpoint (compacted), plus a fixed
+/// 1 000-event tail: recovery loads the snapshot and replays the tail.
+fn prepare_snapshot(courses: &CourseCatalog, n: usize, tag: &str) -> PathBuf {
+    let root = fresh_root(tag);
+    let platform =
+        ShardedSpa::with_log(courses, SpaConfig::default(), SHARDS, &root, log_config()).unwrap();
+    platform.ingest_batch(action_stream(n, 0).iter()).unwrap();
+    platform.checkpoint().unwrap();
+    platform.compact().unwrap();
+    platform.ingest_batch(action_stream(1_000, n as u64).iter()).unwrap();
+    platform.flush().unwrap();
+    root
+}
+
+fn bench_recovery_time(c: &mut Criterion) {
+    let courses = CourseCatalog::generate(25, 5, 3).unwrap();
+    let mut group = c.benchmark_group("recovery_time");
+    group.sample_size(10);
+    for &n in &[20_000usize, 100_000] {
+        let full_root = prepare_full(&courses, n, &format!("full-{n}"));
+        group.bench_function(format!("full_replay_{}k", n / 1000), |b| {
+            b.iter(|| {
+                let (platform, report) = ShardedSpa::recover(
+                    &courses,
+                    SpaConfig::default(),
+                    &[],
+                    &full_root,
+                    log_config(),
+                )
+                .unwrap();
+                black_box((platform.shard_count(), report.total_events()))
+            })
+        });
+        let snap_root = prepare_snapshot(&courses, n, &format!("snap-{n}"));
+        group.bench_function(format!("snapshot_tail_{}k", n / 1000), |b| {
+            b.iter(|| {
+                let (platform, report) = ShardedSpa::recover(
+                    &courses,
+                    SpaConfig::default(),
+                    &[],
+                    &snap_root,
+                    log_config(),
+                )
+                .unwrap();
+                black_box((platform.shard_count(), report.total_events()))
+            })
+        });
+        let _ = std::fs::remove_dir_all(&full_root);
+        let _ = std::fs::remove_dir_all(&snap_root);
+    }
+    group.finish();
+}
+
+fn bench_checkpoint_and_compaction(c: &mut Criterion) {
+    let courses = CourseCatalog::generate(25, 5, 3).unwrap();
+    let n = 20_000usize;
+    let mut group = c.benchmark_group("checkpoint");
+    group.sample_size(10);
+
+    // checkpoint cost over a live 20k-event platform (re-checkpointing
+    // the same position rewrites the same snapshot files atomically —
+    // the steady-state cost of a periodic checkpoint on a quiet shard)
+    let root = fresh_root("ckpt-live");
+    let platform =
+        ShardedSpa::with_log(&courses, SpaConfig::default(), SHARDS, &root, log_config()).unwrap();
+    platform.ingest_batch(action_stream(n, 0).iter()).unwrap();
+    group.bench_function("checkpoint_20k", |b| {
+        b.iter(|| black_box(platform.checkpoint().unwrap().snapshot_bytes))
+    });
+    drop(platform);
+
+    // compaction cost: template root with a registered checkpoint and
+    // several covered segments; each iteration compacts a fresh copy
+    let template = fresh_root("compact-template");
+    {
+        let platform =
+            ShardedSpa::with_log(&courses, SpaConfig::default(), SHARDS, &template, log_config())
+                .unwrap();
+        platform.ingest_batch(action_stream(n, 0).iter()).unwrap();
+        platform.checkpoint().unwrap();
+    }
+    let scratch = fresh_root("compact-scratch");
+    let mut round = 0u64;
+    group.bench_function("compact_after_checkpoint_20k", |b| {
+        b.iter_batched(
+            || {
+                round += 1;
+                let copy = scratch.join(round.to_string());
+                copy_dir(&template, &copy);
+                copy
+            },
+            |copy| {
+                // storage-level compaction (no platform rebuild): delete
+                // covered segments + prune superseded snapshots per shard
+                let registered = ShardedEventLog::registered_snapshots(&copy).unwrap();
+                let mut reclaimed = 0u64;
+                for (index, position) in registered.iter().enumerate() {
+                    if let Some(position) = position {
+                        let dir = ShardedEventLog::shard_path(&copy, ShardId::new(index as u32));
+                        reclaimed +=
+                            EventLog::compact_dir_before(&dir, *position).unwrap().bytes_reclaimed;
+                    }
+                }
+                black_box(reclaimed)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&template);
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+fn benches(c: &mut Criterion) {
+    bench_recovery_time(c);
+    bench_checkpoint_and_compaction(c);
+}
+
+criterion_group!(recovery, benches);
+criterion_main!(recovery);

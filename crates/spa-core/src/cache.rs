@@ -112,6 +112,25 @@ impl AdviceCache {
         total
     }
 
+    /// Drops every cached row (hit/miss counters stay monotone).
+    ///
+    /// Required when the user models behind the cache are **replaced
+    /// wholesale** rather than mutated — restoring a platform from a
+    /// snapshot. Epoch invalidation alone cannot cover that case: a
+    /// restored model legitimately carries the same `updates` counter
+    /// its predecessor had when the row was cached, so a stale row
+    /// would read as valid. Clearing rebuilds the epoch baseline — the
+    /// next read of each user refills from the restored model.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            guard.slots = FastIdMap::default();
+            guard.lens.clear();
+            guard.indices.clear();
+            guard.values.clear();
+        }
+    }
+
     /// Reads `user`'s cached row at `epoch`, refilling it first when
     /// absent or stale, then returns `read`'s result.
     ///
@@ -206,6 +225,21 @@ mod tests {
         assert_eq!(fills, 1, "valid rows must not refill");
         assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_rebuilds_the_epoch_baseline() {
+        let cache = AdviceCache::new(4);
+        let user = UserId::new(3);
+        cache.with_row(user, 5, fill_pairs(&[(1, 1.5)]), |row| row.nnz());
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        // same epoch, different (restored) contents: without the clear
+        // this read would have returned the stale pre-restore row
+        let value = cache.with_row(user, 5, fill_pairs(&[(2, 9.0)]), |row| row.values()[0]);
+        assert_eq!(value, 9.0, "post-clear read must refill from the new model");
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]

@@ -36,7 +36,10 @@
 //! * [`shard`] — the horizontally sharded serving platform
 //!   ([`shard::ShardedSpa`]): N independent `Spa` shards keyed by a
 //!   stable user hash, with write-ahead durable ingest and
-//!   crash-recovery replay.
+//!   crash-recovery replay;
+//! * [`snapshot`] — the contents of a platform checkpoint (section
+//!   tags + codecs), so recovery loads a snapshot and replays only the
+//!   WAL tail behind it instead of the whole history.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +56,7 @@ pub mod preprocessor;
 pub mod recommend;
 pub mod selection;
 pub mod shard;
+pub mod snapshot;
 pub mod sum;
 pub mod values;
 
@@ -61,5 +65,5 @@ pub use eit::{EitEngine, EitQuestion, QuestionBank};
 pub use messaging::{AssignedMessage, AssignmentCase, MessageCatalog, MessagePolicy};
 pub use platform::Spa;
 pub use selection::SelectionFunction;
-pub use shard::{RecoveryReport, ShardedSpa};
+pub use shard::{CheckpointReport, CompactionReport, RecoveryReport, ShardedSpa};
 pub use sum::{AdviceFactors, SmartUserModel, SumConfig, SumRegistry};

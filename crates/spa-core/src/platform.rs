@@ -18,14 +18,18 @@ use crate::eit::{EitEngine, EitQuestion};
 use crate::messaging::{AssignedMessage, MessageCatalog, MessagePolicy, MessagingAgent};
 use crate::preprocessor::{LifeLogPreprocessor, PreprocessorStats};
 use crate::selection::SelectionFunction;
+use crate::snapshot::{SECTION_MODELS, SECTION_SELECTION, SECTION_STATS};
 use crate::sum::{AdviceFactors, SumConfig, SumRegistry};
 use spa_linalg::{RowScratch, RowView, SparseVec};
 use spa_ml::Dataset;
+use spa_store::snapshot::{Snapshot, SnapshotBuilder};
+use spa_store::LogPosition;
 use spa_synth::catalog::CourseCatalog;
 use spa_types::{
     AttributeId, AttributeSchema, CampaignId, EmotionalAttribute, LifeLogEvent, Result, SpaError,
     UserId,
 };
+use std::path::Path;
 use std::sync::Arc;
 
 /// Platform configuration.
@@ -290,6 +294,64 @@ impl Spa {
             let view = model.advice_into(advice_factors, &mut scratch)?;
             selection.partial_fit_view(view, responded)
         })
+    }
+
+    /// Serializes the platform's event-derived state — SUM models,
+    /// pre-processor counters, selection weights — into a snapshot
+    /// covering `position` (the log prefix the state reflects; pass
+    /// [`LogPosition::default`] for an ephemeral platform).
+    ///
+    /// The caller must guarantee no concurrent writes while this runs
+    /// (the sharded platform holds its per-shard write-pause latch;
+    /// single-platform users checkpoint from the writer thread), so the
+    /// serialized registry, counters and position agree.
+    pub fn build_snapshot(&self, position: LogPosition) -> SnapshotBuilder {
+        let mut builder = SnapshotBuilder::new(position);
+        let mut models = Vec::new();
+        self.registry.write_state(&mut models);
+        let mut selection = Vec::new();
+        self.selection.write_state(&mut selection);
+        builder
+            .section(SECTION_MODELS, models)
+            .section(SECTION_STATS, crate::snapshot::encode_stats(&self.stats()))
+            .section(SECTION_SELECTION, selection);
+        builder
+    }
+
+    /// Writes a checkpoint of the platform state to `path` atomically
+    /// (temp file + fsync + rename; see
+    /// [`spa_store::snapshot::SnapshotBuilder::write_atomic`]). Returns
+    /// the snapshot size in bytes.
+    pub fn checkpoint(&self, path: impl AsRef<Path>, position: LogPosition) -> Result<u64> {
+        self.build_snapshot(position).write_atomic(path)
+    }
+
+    /// Restores state from a snapshot into this **freshly built**
+    /// platform: models land in the registry, counters resume from
+    /// their checkpointed values, and the selection function scores
+    /// bit-identically to the one that was checkpointed (no retraining;
+    /// missing selection section leaves it untrained). The advice-row
+    /// cache is cleared so every row refills from the restored models —
+    /// epoch invalidation alone cannot see a wholesale model swap
+    /// ([`AdviceCache::clear`]).
+    ///
+    /// Campaign registrations are configuration, not snapshot state —
+    /// re-register them as at any bring-up (the contract is documented
+    /// on [`crate::shard::ShardedSpa::recover`]).
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<u64> {
+        let models = snapshot
+            .section(SECTION_MODELS)
+            .ok_or_else(|| SpaError::Corrupt("snapshot has no SUM models section".into()))?;
+        let restored = self.registry.restore_state(models)?;
+        let stats = snapshot
+            .section(SECTION_STATS)
+            .ok_or_else(|| SpaError::Corrupt("snapshot has no stats section".into()))?;
+        self.preprocessor.restore_stats(crate::snapshot::decode_stats(stats)?);
+        if let Some(selection) = snapshot.section(SECTION_SELECTION) {
+            self.selection.restore_state(selection)?;
+        }
+        self.advice_cache.clear();
+        Ok(restored)
     }
 
     /// Registers a campaign's appeal attributes so opens/transactions
@@ -571,6 +633,77 @@ mod tests {
                 "descending by score, ties ascending by id"
             );
         }
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_the_whole_platform() {
+        let (spa, users) = trained_platform(35);
+        let path =
+            std::env::temp_dir().join(format!("spa-platform-ckpt-{}.snap", std::process::id()));
+        let position = spa_store::LogPosition { segment: 4, offset: 321 };
+        spa.checkpoint(&path, position).unwrap();
+
+        let courses = CourseCatalog::generate(25, 5, 3).unwrap();
+        let mut restored = Spa::new(&courses, SpaConfig::default());
+        let snapshot = spa_store::Snapshot::read(&path).unwrap();
+        assert_eq!(snapshot.position(), position);
+        assert_eq!(restored.restore(&snapshot).unwrap(), users.len() as u64);
+
+        assert_eq!(restored.stats(), spa.stats(), "counters resume, not restart");
+        // selection weights restored bit-exactly — no silent retrain
+        assert_eq!(
+            restored.selection().svm().bias().to_bits(),
+            spa.selection().svm().bias().to_bits()
+        );
+        for (a, b) in
+            restored.selection().svm().weights().iter().zip(spa.selection().svm().weights().iter())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for &user in &users {
+            // rows, schedules and cached-path scores all match
+            let row_a = spa.advice_row(user).unwrap();
+            let row_b = restored.advice_row(user).unwrap();
+            assert_eq!(row_a.indices(), row_b.indices());
+            for (x, y) in row_a.values().iter().zip(row_b.values().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(spa.next_eit_question(user).id, restored.next_eit_question(user).id);
+        }
+        let scores_live = spa.score_users(&users).unwrap();
+        let scores_restored = restored.score_users(&users).unwrap();
+        for (a, b) in scores_live.iter().zip(scores_restored.iter()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restore_clears_the_advice_cache() {
+        let (spa, users) = trained_platform(20);
+        let warm = spa.score_users(&users).unwrap();
+        assert!(spa.advice_cache_stats().misses > 0);
+        let path = std::env::temp_dir()
+            .join(format!("spa-platform-cacheckpt-{}.snap", std::process::id()));
+        spa.checkpoint(&path, spa_store::LogPosition::default()).unwrap();
+        // restore INTO the same (warm-cached) platform: without the
+        // clear, cached rows at matching epochs would mask the restored
+        // models
+        let mut spa = spa;
+        spa.restore(&spa_store::Snapshot::read(&path).unwrap()).unwrap();
+        let before = spa.advice_cache_stats();
+        let rescored = spa.score_users(&users).unwrap();
+        let after = spa.advice_cache_stats();
+        assert_eq!(
+            after.misses - before.misses,
+            users.len() as u64,
+            "every row must refill from restored models"
+        );
+        for (a, b) in warm.iter().zip(rescored.iter()) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "state was identical, so scores must be");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -93,6 +93,13 @@ impl LifeLogPreprocessor {
         *self.stats.read()
     }
 
+    /// Overwrites the counters — used when restoring a platform from a
+    /// snapshot, so post-recovery stats continue from the checkpointed
+    /// values instead of restarting at zero.
+    pub fn restore_stats(&self, stats: PreprocessorStats) {
+        *self.stats.write() = stats;
+    }
+
     fn subjective_attr(&self, slot: usize) -> AttributeId {
         // subjective block starts after the 40 objective attributes
         AttributeId::new((40 + slot.min(24)) as u32)

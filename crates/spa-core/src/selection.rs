@@ -63,6 +63,23 @@ impl SelectionFunction {
         &self.svm
     }
 
+    /// Serializes the trained state (weights, bias, Pegasos step
+    /// counter) into `out` — what a platform checkpoint stores so
+    /// recovery restores the selection function instead of retraining
+    /// it from scratch. See [`spa_ml::svm::LinearSvm::write_state`].
+    pub fn write_state(&self, out: &mut Vec<u8>) {
+        self.svm.write_state(out);
+    }
+
+    /// Restores state written by [`SelectionFunction::write_state`].
+    /// Bit-exact: the restored function scores and keeps learning
+    /// identically to the one that was checkpointed. Hyper-parameters
+    /// stay as constructed (they are configuration, like
+    /// [`crate::platform::SpaConfig`]).
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<()> {
+        self.svm.read_state(bytes)
+    }
+
     /// Propensity score of one user.
     pub fn score(&self, features: &SparseVec) -> Result<f64> {
         self.svm.decision_function(features)

@@ -36,16 +36,25 @@
 use crate::platform::{Spa, SpaConfig};
 use crate::preprocessor::PreprocessorStats;
 use crate::selection::SelectionFunction;
+use crate::snapshot::SECTION_SELECTION;
+use parking_lot::{Mutex, RwLock};
 use spa_linalg::SparseVec;
 use spa_ml::Dataset;
 use spa_store::log::LogConfig;
-use spa_store::{ShardedEventLog, TornTail};
+use spa_store::snapshot::{self, Snapshot, SnapshotBuilder};
+use spa_store::{LogPosition, ShardedEventLog, TornTail};
 use spa_synth::catalog::CourseCatalog;
 use spa_types::{
     AttributeSchema, CampaignId, EmotionalAttribute, LifeLogEvent, Result, ShardId, SpaError,
     UserId,
 };
 use std::path::Path;
+
+/// File at the log root holding the global selection function's trained
+/// state (one per platform, not per shard — the selection model is
+/// global). Written atomically by [`ShardedSpa::checkpoint`], loaded by
+/// [`ShardedSpa::recover`].
+const SELECTION_SNAPSHOT: &str = "selection.snap";
 
 /// Stable user → shard assignment: FNV-1a over the id's little-endian
 /// bytes, reduced modulo the shard count. Deterministic across runs,
@@ -60,10 +69,45 @@ pub fn shard_index(user: UserId, shards: usize) -> usize {
     h as usize % shards
 }
 
+/// The one per-shard fan-out used by every multi-shard operation:
+/// applies `f` to each shard index, across threads under the `parallel`
+/// feature when `parallel_ok` holds (and there is real parallelism to
+/// gain), serially otherwise. Results come back in index order either
+/// way — the bit-identity-across-thread-counts guarantee every caller
+/// relies on.
+fn fan_out<T: Send>(n: usize, parallel_ok: bool, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    #[cfg(feature = "parallel")]
+    {
+        if parallel_ok && n > 1 && rayon::current_num_threads() > 1 {
+            use rayon::prelude::*;
+            return (0..n).into_par_iter().map(f).collect();
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = parallel_ok;
+    (0..n).map(f).collect()
+}
+
+/// Scoring-path gate for [`fan_out`]: small audiences are not worth a
+/// thread fan-out even on multi-core hosts.
+fn batch_is_parallel_worthy(audience: usize) -> bool {
+    #[cfg(feature = "parallel")]
+    {
+        audience >= spa_ml::PARALLEL_BATCH_THRESHOLD
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = audience;
+        false
+    }
+}
+
 /// What [`ShardedSpa::recover`] found while replaying per-shard logs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
-    /// Events replayed and applied per shard (index = shard id).
+    /// Events replayed and applied per shard (index = shard id). With a
+    /// snapshot this counts only the **tail** behind it — the events
+    /// the snapshot did not already cover.
     pub events_replayed: Vec<u64>,
     /// Intact logged events the platform rejected on replay, per shard
     /// (it rejected them identically at live ingest time, so they never
@@ -71,6 +115,13 @@ pub struct RecoveryReport {
     pub events_skipped: Vec<u64>,
     /// Torn tail found (and truncated) per shard, if any.
     pub torn_tails: Vec<Option<TornTail>>,
+    /// The snapshot position each shard was restored from (`None` =
+    /// that shard replayed its full history).
+    pub snapshots_loaded: Vec<Option<LogPosition>>,
+    /// Whether the global selection function was restored from the
+    /// checkpointed weights (`false` = no/corrupt selection snapshot;
+    /// the function is untrained and must be re-fit).
+    pub selection_restored: bool,
 }
 
 impl RecoveryReport {
@@ -88,6 +139,33 @@ impl RecoveryReport {
     pub fn torn_shards(&self) -> usize {
         self.torn_tails.iter().filter(|t| t.is_some()).count()
     }
+
+    /// Number of shards restored from a snapshot rather than a full
+    /// replay.
+    pub fn shards_from_snapshot(&self) -> usize {
+        self.snapshots_loaded.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// What [`ShardedSpa::checkpoint`] wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Per-shard log position each snapshot covers (index = shard id).
+    pub positions: Vec<LogPosition>,
+    /// Total snapshot bytes written (shard snapshots + the global
+    /// selection snapshot).
+    pub snapshot_bytes: u64,
+}
+
+/// What [`ShardedSpa::compact`] reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionReport {
+    /// Segment files deleted across all shards.
+    pub segments_deleted: usize,
+    /// Bytes those segments held.
+    pub bytes_reclaimed: u64,
+    /// Superseded snapshot files removed.
+    pub snapshots_pruned: usize,
 }
 
 /// N independent [`Spa`] shards behind one facade, with optional
@@ -96,6 +174,19 @@ pub struct ShardedSpa {
     shards: Vec<Spa>,
     selection: SelectionFunction,
     log: Option<ShardedEventLog>,
+    /// Per-shard write-pause latches. Every state-mutating entry point
+    /// takes its shard's latch **shared**; [`ShardedSpa::checkpoint`]
+    /// takes it **exclusive** while serializing that shard, so the
+    /// recorded log position and the serialized state agree — and other
+    /// shards keep ingesting meanwhile. Uncontended read acquisition is
+    /// a couple of atomic ops, invisible next to a WAL append.
+    pauses: Vec<RwLock<()>>,
+    /// Serializes checkpoint/compaction against each other: both are
+    /// `&self` (callable from concurrent owners of an `Arc`), and the
+    /// manifest registration is a read-modify-write — interleaved
+    /// maintenance could register stale positions pointing at snapshots
+    /// a concurrent prune already deleted.
+    maintenance: Mutex<()>,
 }
 
 impl ShardedSpa {
@@ -106,8 +197,9 @@ impl ShardedSpa {
         }
         let schema = AttributeSchema::emagister();
         let selection = SelectionFunction::with_imbalance(schema.len(), config.positive_weight);
+        let pauses = (0..shards).map(|_| RwLock::new(())).collect();
         let shards = (0..shards).map(|_| Spa::new(courses, config.clone())).collect();
-        Ok(Self { shards, selection, log: None })
+        Ok(Self { shards, selection, log: None, pauses, maintenance: Mutex::new(()) })
     }
 
     /// Builds a sharded platform whose ingest is write-ahead logged to
@@ -127,13 +219,30 @@ impl ShardedSpa {
     }
 
     /// Rebuilds a sharded platform from its per-shard logs after a
-    /// crash: reads the shard count from the root manifest, replays
-    /// every intact event of every shard (truncating torn tail writes
-    /// so appends resume on a clean frame boundary), and reattaches the
-    /// logs for continued ingest.
+    /// crash: reads the shard count and registered checkpoints from the
+    /// root manifest, restores each shard from its newest valid
+    /// snapshot ([`ShardedSpa::checkpoint`]) and replays only the
+    /// segment **tail** behind it (truncating torn tail writes so
+    /// appends resume on a clean frame boundary), then reattaches the
+    /// logs for continued ingest. Recovery cost is proportional to the
+    /// tail since the last checkpoint, not the event history. The
+    /// global [`SelectionFunction`] is restored from the checkpointed
+    /// weights — it scores bit-identically to the live function, no
+    /// retraining.
     ///
-    /// Two things are configuration, not logged events, and must be
-    /// re-supplied by the caller:
+    /// Shards without a registered snapshot replay their full history
+    /// (exactly the pre-checkpoint behavior). A registered snapshot
+    /// that fails its CRC falls back to full replay when the full
+    /// history still exists; if the log was already compacted behind
+    /// the bad snapshot, recovery fails loudly rather than silently
+    /// serving partial state.
+    ///
+    /// **The configuration-not-logged contract** (the one place it is
+    /// documented): everything a platform derives from the event
+    /// stream — SUM models, EIT schedules, counters, selection weights
+    /// — is recovered from snapshot + WAL. What is *not* is
+    /// configuration the operator supplies at every bring-up, exactly
+    /// as they supply `courses`, `config` and `log_config`:
     ///
     /// * `campaigns` — campaign → appeal registrations, active from the
     ///   *start* of replay. Replayed `MessageOpened` / attributed
@@ -143,8 +252,6 @@ impl ShardedSpa {
     ///   earlier events too. Register campaigns at platform bring-up
     ///   (before ingest), as [`ShardedSpa::with_log`] users naturally
     ///   do, and recovery is exact.
-    /// * the [`SelectionFunction`] — it derives from labelled campaign
-    ///   history, so retrain it (or re-observe outcomes) afterwards.
     ///
     /// A logged event the in-memory platform *rejects* (e.g. an
     /// `EitAnswer` naming a question id outside the bank) is rejected
@@ -159,19 +266,98 @@ impl ShardedSpa {
         log_config: LogConfig,
     ) -> Result<(Self, RecoveryReport)> {
         let root = root.as_ref();
-        let shards = ShardedEventLog::manifest_shards(root)?;
-        let mut sharded = Self::new(courses, config, shards)?;
-        for (campaign, appeal) in campaigns {
-            sharded.register_campaign(*campaign, appeal);
+        // one manifest read serves both the shard count and the
+        // checkpoint registrations (the vector is always count-sized)
+        let registered = ShardedEventLog::registered_snapshots(root)?;
+        let shards = registered.len();
+        struct ShardOutcome {
+            applied: u64,
+            skipped: u64,
+            torn: Option<TornTail>,
+            snapshot: Option<LogPosition>,
         }
-        // each shard replays independently (its own segments, its own
-        // Spa), streaming one segment at a time — a shard's history
-        // never sits in memory whole — and fans out across threads
-        // under the `parallel` feature, like every multi-shard path
-        let replay_shard = |index: usize| -> Result<(u64, u64, Option<TornTail>)> {
-            let spa = &sharded.shards[index];
+        // each shard recovers independently (its own snapshot, its own
+        // segments, its own Spa): build the shard, load the registered
+        // snapshot, then stream-replay the tail behind it one segment
+        // at a time — fanned out across threads under the `parallel`
+        // feature, like every multi-shard path
+        let recover_shard = |index: usize| -> Result<(Spa, ShardOutcome)> {
+            let mut spa = Spa::new(courses, config.clone());
+            for (campaign, appeal) in campaigns {
+                spa.register_campaign(*campaign, appeal);
+            }
             let dir = ShardedEventLog::shard_path(root, ShardId::new(index as u32));
-            let mut iter = spa_store::EventLog::replay_iter(&dir)?;
+            let mut start = LogPosition::default();
+            let mut loaded = None;
+            if let Some(position) = registered[index] {
+                let path = snapshot::snapshot_path(&dir, position);
+                let restore = Snapshot::read(&path).and_then(|snap| {
+                    if snap.position() != position {
+                        return Err(SpaError::Corrupt(format!(
+                            "snapshot {} covers position {}, manifest registered {position}",
+                            path.display(),
+                            snap.position()
+                        )));
+                    }
+                    spa.restore(&snap)
+                });
+                match restore {
+                    Ok(_) => {
+                        start = position;
+                        loaded = Some(position);
+                    }
+                    Err(cause) => {
+                        // the registered snapshot is unloadable (CRC
+                        // failure, missing file). Fallback ladder:
+                        // 1. another valid snapshot on disk whose tail
+                        //    still exists — pruning only runs behind a
+                        //    *validated* checkpoint, so the previous
+                        //    good one typically survives; recovery then
+                        //    costs one checkpoint interval of replay;
+                        // 2. a from-scratch replay, when the full
+                        //    history survives (segment 0 present);
+                        // 3. loud failure — after compaction the
+                        //    covered events exist nowhere else, and
+                        //    replaying a partial log would silently
+                        //    serve wrong state.
+                        let rebuild = |spa: &mut Spa| {
+                            *spa = Spa::new(courses, config.clone());
+                            for (campaign, appeal) in campaigns {
+                                spa.register_campaign(*campaign, appeal);
+                            }
+                        };
+                        // a failed restore may have landed partial state
+                        rebuild(&mut spa);
+                        let first = spa_store::EventLog::first_segment_index(&dir)?;
+                        let mut older_loaded = None;
+                        if let Some((older, _)) = snapshot::latest_valid_snapshot(&dir)? {
+                            let older_position = older.position();
+                            if first.is_some_and(|f| f <= older_position.segment) {
+                                if spa.restore(&older).is_ok() {
+                                    older_loaded = Some(older_position);
+                                } else {
+                                    rebuild(&mut spa);
+                                }
+                            }
+                        }
+                        match older_loaded {
+                            Some(older_position) => {
+                                start = older_position;
+                                loaded = Some(older_position);
+                            }
+                            None if first == Some(0) => {} // full replay
+                            None => {
+                                return Err(SpaError::Corrupt(format!(
+                                    "shard {index}: snapshot at {position} failed to load \
+                                     ({cause}), no other valid snapshot is usable, and the log \
+                                     is compacted behind it — cannot recover"
+                                )))
+                            }
+                        }
+                    }
+                }
+            }
+            let mut iter = spa_store::EventLog::replay_iter_from(&dir, start)?;
             let mut applied = 0u64;
             let mut skipped = 0u64;
             for event in iter.by_ref() {
@@ -186,33 +372,168 @@ impl ShardedSpa {
             if let Some(torn) = &torn {
                 spa_store::EventLog::truncate_torn_tail(&dir, torn)?;
             }
-            Ok((applied, skipped, torn))
+            Ok((spa, ShardOutcome { applied, skipped, torn, snapshot: loaded }))
         };
-        let outcomes: Vec<Result<(u64, u64, Option<TornTail>)>>;
-        #[cfg(feature = "parallel")]
-        {
-            outcomes = if shards > 1 && rayon::current_num_threads() > 1 {
-                use rayon::prelude::*;
-                (0..shards).into_par_iter().map(replay_shard).collect()
-            } else {
-                (0..shards).map(replay_shard).collect()
-            };
-        }
-        #[cfg(not(feature = "parallel"))]
-        {
-            outcomes = (0..shards).map(replay_shard).collect();
-        }
+        let outcomes: Vec<Result<(Spa, ShardOutcome)>> = fan_out(shards, true, recover_shard);
+        // assemble the facade around the recovered shards directly (no
+        // throwaway `Spa`s: the per-shard platforms were already built
+        // inside the recovery fan-out)
+        let schema = AttributeSchema::emagister();
+        let mut sharded = Self {
+            shards: Vec::with_capacity(shards),
+            selection: SelectionFunction::with_imbalance(schema.len(), config.positive_weight),
+            log: None,
+            pauses: (0..shards).map(|_| RwLock::new(())).collect(),
+            maintenance: Mutex::new(()),
+        };
         let mut events_replayed = Vec::with_capacity(shards);
         let mut events_skipped = Vec::with_capacity(shards);
         let mut torn_tails = Vec::with_capacity(shards);
+        let mut snapshots_loaded = Vec::with_capacity(shards);
         for outcome in outcomes {
-            let (applied, skipped, torn) = outcome?;
+            let (spa, ShardOutcome { applied, skipped, torn, snapshot }) = outcome?;
+            sharded.shards.push(spa);
             events_replayed.push(applied);
             events_skipped.push(skipped);
             torn_tails.push(torn);
+            snapshots_loaded.push(snapshot);
+        }
+        // the global selection function: restored from the checkpoint's
+        // weight snapshot when one is present and valid; a missing or
+        // corrupt file leaves it untrained (surfaced in the report —
+        // the function is re-fittable from campaign history, unlike
+        // event-derived state, so this degrades rather than fails)
+        let mut selection_restored = false;
+        let selection_path = root.join(SELECTION_SNAPSHOT);
+        if selection_path.exists() {
+            if let Ok(snap) = Snapshot::read(&selection_path) {
+                if let Some(bytes) = snap.section(SECTION_SELECTION) {
+                    selection_restored = sharded.selection.restore_state(bytes).is_ok();
+                }
+            }
         }
         sharded.log = Some(ShardedEventLog::open_existing(root, log_config)?);
-        Ok((sharded, RecoveryReport { events_replayed, events_skipped, torn_tails }))
+        Ok((
+            sharded,
+            RecoveryReport {
+                events_replayed,
+                events_skipped,
+                torn_tails,
+                snapshots_loaded,
+                selection_restored,
+            },
+        ))
+    }
+
+    /// Checkpoints every shard: under that shard's write-pause latch,
+    /// flushes its WAL, records the flushed position and atomically
+    /// writes a snapshot of the shard's in-memory state covering
+    /// exactly that position (fanned out across threads under the
+    /// `parallel` feature — shards pause one at a time, not the whole
+    /// platform). The global selection weights are written to a
+    /// root-level snapshot, and finally all positions are registered in
+    /// the shard manifest in one atomic rewrite — the commit point:
+    /// recovery prefers the new snapshots only after it, and a crash at
+    /// any earlier moment leaves the previous checkpoint fully intact.
+    ///
+    /// After a checkpoint, [`ShardedSpa::compact`] may delete the
+    /// covered segments; [`ShardedSpa::recover`] replays only the tail.
+    ///
+    /// Errors on an ephemeral (no-WAL) platform — a snapshot without a
+    /// log position to anchor to cannot bound replay.
+    pub fn checkpoint(&self) -> Result<CheckpointReport> {
+        let log = self.log.as_ref().ok_or_else(|| {
+            SpaError::Invalid(
+                "checkpoint requires a write-ahead-logged platform \
+                 (ShardedSpa::with_log / ShardedSpa::recover)"
+                    .into(),
+            )
+        })?;
+        let _maintenance = self.maintenance.lock();
+        let snapshot_shard = |index: usize| -> Result<(LogPosition, u64)> {
+            let shard_id = ShardId::new(index as u32);
+            // exclusive latch: no append lands between recording the
+            // position and serializing the state it reflects. Held only
+            // for the position read (no I/O) + in-memory serialization
+            // — the WAL flush/fsync and the snapshot disk write run
+            // after the latch drops, so ingest on this shard stalls for
+            // the state walk, never for disk latency.
+            let (position, builder) = {
+                let _pause = self.pauses[index].write();
+                let position = log.buffered_position(shard_id);
+                (position, self.shards[index].build_snapshot(position))
+            };
+            // the covered prefix must be durable before the snapshot is
+            // registered — always fsynced, independent of the log's
+            // per-append `fsync` setting: the registration and snapshot
+            // are fsynced below, and after compaction they would
+            // otherwise outlive WAL bytes a power loss took with the
+            // page cache, leaving a registered offset past the
+            // surviving segment
+            log.sync_up_to(shard_id, position)?;
+            let dir = ShardedEventLog::shard_path(log.root(), shard_id);
+            let bytes = builder.write_atomic(snapshot::snapshot_path(&dir, position))?;
+            Ok((position, bytes))
+        };
+        let written: Vec<Result<(LogPosition, u64)>> =
+            fan_out(self.shards.len(), true, snapshot_shard);
+        let mut positions = Vec::with_capacity(self.shards.len());
+        let mut snapshot_bytes = 0u64;
+        for outcome in written {
+            let (position, bytes) = outcome?;
+            positions.push(position);
+            snapshot_bytes += bytes;
+        }
+        // global selection weights (checkpoint(&self) excludes the
+        // &mut training entry points, so the weights are stable here)
+        let mut selection_state = Vec::new();
+        self.selection.write_state(&mut selection_state);
+        let mut builder = SnapshotBuilder::new(LogPosition::default());
+        builder.section(SECTION_SELECTION, selection_state);
+        snapshot_bytes += builder.write_atomic(log.root().join(SELECTION_SNAPSHOT))?;
+        // commit: one atomic manifest rewrite registers everything
+        let registrations: Vec<Option<LogPosition>> = positions.iter().copied().map(Some).collect();
+        ShardedEventLog::register_snapshots(log.root(), &registrations)?;
+        Ok(CheckpointReport { positions, snapshot_bytes })
+    }
+
+    /// Deletes WAL segments fully covered by each shard's registered
+    /// checkpoint (see [`spa_store::log::EventLog::compact_before`])
+    /// and prunes snapshot files the registered one supersedes. Safe
+    /// during live ingest — only closed, fully-covered segments are
+    /// touched. Disk usage becomes O(state + tail) instead of
+    /// O(history).
+    ///
+    /// Before deleting anything, each shard's registered snapshot is
+    /// **re-validated** (full CRC read): the covered events exist
+    /// nowhere else once their segments are gone, so compacting behind
+    /// a snapshot that bit-rotted after registration would turn a
+    /// recoverable situation (recover falls back to full replay) into
+    /// permanent data loss. A shard with an unloadable snapshot is
+    /// skipped — its history stays replayable until a fresh checkpoint
+    /// succeeds.
+    pub fn compact(&self) -> Result<CompactionReport> {
+        let log = self.log.as_ref().ok_or_else(|| {
+            SpaError::Invalid("compaction requires a write-ahead-logged platform".into())
+        })?;
+        let _maintenance = self.maintenance.lock();
+        let registered = ShardedEventLog::registered_snapshots(log.root())?;
+        let mut report = CompactionReport::default();
+        for (index, position) in registered.iter().enumerate() {
+            let Some(position) = position else { continue };
+            let shard_id = ShardId::new(index as u32);
+            let dir = ShardedEventLog::shard_path(log.root(), shard_id);
+            let snapshot_ok = Snapshot::read(snapshot::snapshot_path(&dir, *position))
+                .is_ok_and(|snap| snap.position() == *position);
+            if !snapshot_ok {
+                continue;
+            }
+            let stats = log.compact_before(shard_id, *position)?;
+            report.segments_deleted += stats.segments_deleted;
+            report.bytes_reclaimed += stats.bytes_reclaimed;
+            report.snapshots_pruned += snapshot::prune_snapshots_before(&dir, *position)?;
+        }
+        Ok(report)
     }
 
     /// Number of shards.
@@ -246,9 +567,14 @@ impl ShardedSpa {
     }
 
     /// Ingests one raw LifeLog event: appended to the owning shard's
-    /// log first (write-ahead), then applied to its in-memory state.
+    /// log first (write-ahead), then applied to its in-memory state —
+    /// both under the shard's write-pause latch, so a concurrent
+    /// [`ShardedSpa::checkpoint`] never snapshots between the append
+    /// and the apply (which would record a position covering an event
+    /// the state does not reflect).
     pub fn ingest(&self, event: &LifeLogEvent) -> Result<()> {
         let shard = self.shard_of(event.user);
+        let _pause = self.pauses[shard.index()].read();
         if let Some(log) = &self.log {
             log.append(shard, event)?;
         }
@@ -284,6 +610,18 @@ impl ShardedSpa {
         for event in events {
             by_shard[shard_index(event.user, self.shards.len())].push(event);
         }
+        // hold every involved shard's pause latch (shared, acquired in
+        // index order) across both the log phase and the apply phase: a
+        // checkpoint must never land between a sub-batch's append and
+        // its apply. Readers never block each other, and the write
+        // latch is only taken one shard at a time, so there is no lock-
+        // order cycle.
+        let _pauses: Vec<_> = by_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, batch)| !batch.is_empty())
+            .map(|(index, _)| self.pauses[index].read())
+            .collect();
         for (index, batch) in by_shard.iter().enumerate() {
             if let (Some(log), false) = (&self.log, batch.is_empty()) {
                 log.append_batch(ShardId::new(index as u32), batch.iter().copied())?;
@@ -292,20 +630,7 @@ impl ShardedSpa {
         let apply = |index: usize| -> usize {
             by_shard[index].iter().filter(|event| self.shards[index].ingest(event).is_ok()).count()
         };
-        let counts: Vec<usize>;
-        #[cfg(feature = "parallel")]
-        {
-            counts = if self.shards.len() > 1 && rayon::current_num_threads() > 1 {
-                use rayon::prelude::*;
-                (0..self.shards.len()).into_par_iter().map(apply).collect()
-            } else {
-                (0..self.shards.len()).map(apply).collect()
-            };
-        }
-        #[cfg(not(feature = "parallel"))]
-        {
-            counts = (0..self.shards.len()).map(apply).collect();
-        }
+        let counts: Vec<usize> = fan_out(self.shards.len(), true, apply);
         Ok(counts.into_iter().sum())
     }
 
@@ -335,8 +660,10 @@ impl ShardedSpa {
         self.owner(user).next_eit_question(user)
     }
 
-    /// Imports socio-demographic attributes for a user (routed).
+    /// Imports socio-demographic attributes for a user (routed; under
+    /// the owning shard's write-pause latch, like every mutation).
     pub fn import_objective(&self, user: UserId, values: &[f64]) -> Result<()> {
+        let _pause = self.pauses[shard_index(user, self.shards.len())].read();
         self.owner(user).import_objective(user, values)
     }
 
@@ -393,23 +720,9 @@ impl ShardedSpa {
                 })
                 .collect()
         };
-        let per_shard: Vec<Result<Vec<(usize, f64)>>>;
-        #[cfg(feature = "parallel")]
-        {
-            per_shard = if self.shards.len() > 1
-                && users.len() >= spa_ml::PARALLEL_BATCH_THRESHOLD
-                && rayon::current_num_threads() > 1
-            {
-                use rayon::prelude::*;
-                (0..self.shards.len()).into_par_iter().map(score_shard).collect()
-            } else {
-                (0..self.shards.len()).map(score_shard).collect()
-            };
-        }
-        #[cfg(not(feature = "parallel"))]
-        {
-            per_shard = (0..self.shards.len()).map(score_shard).collect();
-        }
+        let parallel_ok = batch_is_parallel_worthy(users.len());
+        let per_shard: Vec<Result<Vec<(usize, f64)>>> =
+            fan_out(self.shards.len(), parallel_ok, score_shard);
         let mut out: Vec<Option<(UserId, f64)>> = vec![None; users.len()];
         for scored in per_shard {
             for (position, score) in scored? {
@@ -452,23 +765,9 @@ impl ShardedSpa {
             SelectionFunction::top_k_by_propensity(&mut scored, k);
             Ok(scored)
         };
-        let per_shard: Vec<Result<Vec<(UserId, f64)>>>;
-        #[cfg(feature = "parallel")]
-        {
-            per_shard = if self.shards.len() > 1
-                && users.len() >= spa_ml::PARALLEL_BATCH_THRESHOLD
-                && rayon::current_num_threads() > 1
-            {
-                use rayon::prelude::*;
-                (0..self.shards.len()).into_par_iter().map(top_of_shard).collect()
-            } else {
-                (0..self.shards.len()).map(top_of_shard).collect()
-            };
-        }
-        #[cfg(not(feature = "parallel"))]
-        {
-            per_shard = (0..self.shards.len()).map(top_of_shard).collect();
-        }
+        let parallel_ok = batch_is_parallel_worthy(users.len());
+        let per_shard: Vec<Result<Vec<(UserId, f64)>>> =
+            fan_out(self.shards.len(), parallel_ok, top_of_shard);
         let mut merged: Vec<(UserId, f64)> = Vec::with_capacity(k.min(users.len()));
         for part in per_shard {
             merged.extend(part?);
@@ -486,8 +785,10 @@ impl ShardedSpa {
     }
 
     /// Punishes a campaign's appeal attributes for a user who ignored
-    /// its message (routed to the owning shard).
+    /// its message (routed to the owning shard, under its write-pause
+    /// latch).
     pub fn punish_ignored(&self, user: UserId, campaign: CampaignId) {
+        let _pause = self.pauses[shard_index(user, self.shards.len())].read();
         self.owner(user).punish_ignored(user, campaign);
     }
 
@@ -675,6 +976,199 @@ mod tests {
         assert_eq!(report.total_events(), 4);
         assert_eq!(report.total_skipped(), 2);
         assert_eq!(recovered.stats().eit_answers, 4);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn checkpoint_requires_a_write_ahead_log() {
+        let sharded = ShardedSpa::new(&courses(), SpaConfig::default(), 2).unwrap();
+        assert!(matches!(sharded.checkpoint(), Err(SpaError::Invalid(_))));
+        assert!(matches!(sharded.compact(), Err(SpaError::Invalid(_))));
+    }
+
+    #[test]
+    fn checkpoint_compact_recover_replays_only_the_tail() {
+        let root = std::env::temp_dir().join(format!("spa-shard-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let courses = courses();
+        // tiny segments so the pre-checkpoint history spans several
+        // segment files and compaction genuinely deletes some
+        let log_config = LogConfig { segment_bytes: 512, fsync: false };
+        let campaigns = [(CampaignId::new(1), vec![EmotionalAttribute::Hopeful])];
+        let users: Vec<UserId> = (0..40).map(UserId::new).collect();
+        let stats_live;
+        let weights_live: Vec<f64>;
+        let bias_live;
+        {
+            let mut sharded =
+                ShardedSpa::with_log(&courses, SpaConfig::default(), 3, &root, log_config.clone())
+                    .unwrap();
+            sharded.register_campaign(campaigns[0].0, &campaigns[0].1);
+            for round in 0..4u64 {
+                for &user in &users {
+                    let event = eit_event(&sharded, user, round * 100 + user.raw() as u64, 0.5);
+                    sharded.ingest(&event).unwrap();
+                }
+            }
+            let mut data = spa_ml::Dataset::new(75);
+            for &user in &users {
+                let row = sharded.advice_row(user).unwrap();
+                data.push(&row, if row.get(65) > 0.5 { 1.0 } else { -1.0 }).unwrap();
+            }
+            sharded.train_selection(&data).unwrap();
+
+            let report = sharded.checkpoint().unwrap();
+            assert_eq!(report.positions.len(), 3);
+            assert!(report.snapshot_bytes > 0);
+            let compaction = sharded.compact().unwrap();
+            assert!(
+                compaction.segments_deleted > 0,
+                "512-byte segments must leave something to compact"
+            );
+            // a second compact is a no-op (everything already reclaimed)
+            assert_eq!(sharded.compact().unwrap(), CompactionReport::default());
+
+            // post-checkpoint tail
+            for &user in &users[..10] {
+                let event = eit_event(&sharded, user, 10_000 + user.raw() as u64, -0.4);
+                sharded.ingest(&event).unwrap();
+            }
+            sharded.flush().unwrap();
+            stats_live = sharded.stats();
+            weights_live = sharded.selection().svm().weights().to_vec();
+            bias_live = sharded.selection().svm().bias();
+        } // crash
+
+        let (recovered, report) =
+            ShardedSpa::recover(&courses, SpaConfig::default(), &campaigns, &root, log_config)
+                .unwrap();
+        assert_eq!(report.shards_from_snapshot(), 3, "every shard restores from its snapshot");
+        assert_eq!(report.total_events(), 10, "only the 10 tail events replay");
+        assert!(report.selection_restored);
+        assert_eq!(recovered.stats(), stats_live);
+        // the restored selection function is the live one, bit for bit
+        // — no silent retrain
+        assert_eq!(recovered.selection().svm().bias().to_bits(), bias_live.to_bits());
+        for (a, b) in recovered.selection().svm().weights().iter().zip(weights_live.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_full_replay_unless_compacted() {
+        let root = std::env::temp_dir().join(format!("spa-shard-badsnap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let courses = courses();
+        let user = UserId::new(3);
+        {
+            let sharded = ShardedSpa::with_log(
+                &courses,
+                SpaConfig::default(),
+                1,
+                &root,
+                LogConfig { segment_bytes: 128, fsync: false },
+            )
+            .unwrap();
+            for round in 0..6 {
+                let event = eit_event(&sharded, user, round, 0.7);
+                sharded.ingest(&event).unwrap();
+            }
+            sharded.checkpoint().unwrap();
+        }
+        // corrupt the (only) shard snapshot
+        let shard_dir = root.join("shard-0000");
+        let snap_path = spa_store::snapshot::list_snapshots(&shard_dir).unwrap().pop().unwrap().1;
+        let mut bytes = std::fs::read(&snap_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&snap_path, &bytes).unwrap();
+        // the full history survives (no compaction ran): recovery falls
+        // back to replaying everything
+        let (recovered, report) = ShardedSpa::recover(
+            &courses,
+            SpaConfig::default(),
+            &[],
+            &root,
+            LogConfig { segment_bytes: 128, fsync: false },
+        )
+        .unwrap();
+        assert_eq!(report.shards_from_snapshot(), 0);
+        assert_eq!(report.total_events(), 6);
+        assert_eq!(recovered.stats().eit_answers, 6);
+        // compact() re-validates the registered snapshot before it
+        // deletes anything: a corrupt snapshot means the history is the
+        // only copy of those events, so the shard must be skipped
+        assert_eq!(
+            recovered.compact().unwrap(),
+            CompactionReport::default(),
+            "compaction behind an unloadable snapshot would be data loss"
+        );
+        assert_eq!(spa_store::EventLog::first_segment_index(&shard_dir).unwrap(), Some(0));
+        drop(recovered);
+        // if the covered segments are nevertheless gone (operator error,
+        // external cleanup), recovery must fail loudly rather than serve
+        // a silently partial platform
+        let registered = ShardedEventLog::registered_snapshots(&root).unwrap()[0].unwrap();
+        assert!(registered.segment > 0, "128-byte segments must have rolled");
+        spa_store::EventLog::compact_dir_before(&shard_dir, registered).unwrap();
+        assert!(matches!(
+            ShardedSpa::recover(
+                &courses,
+                SpaConfig::default(),
+                &[],
+                &root,
+                LogConfig { segment_bytes: 128, fsync: false }
+            ),
+            Err(SpaError::Corrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_the_previous_checkpoint() {
+        let root = std::env::temp_dir().join(format!("spa-shard-prevsnap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let courses = courses();
+        let log_config = LogConfig { segment_bytes: 128, fsync: false };
+        let user = UserId::new(3);
+        let first_positions;
+        {
+            let sharded =
+                ShardedSpa::with_log(&courses, SpaConfig::default(), 1, &root, log_config.clone())
+                    .unwrap();
+            for round in 0..6 {
+                sharded.ingest(&eit_event(&sharded, user, round, 0.7)).unwrap();
+            }
+            // checkpoint A, compacted — history before A is gone
+            first_positions = sharded.checkpoint().unwrap().positions;
+            sharded.compact().unwrap();
+            for round in 6..9 {
+                sharded.ingest(&eit_event(&sharded, user, round, 0.2)).unwrap();
+            }
+            // checkpoint B (no compact: A's snapshot file survives)
+            sharded.checkpoint().unwrap();
+            for round in 9..11 {
+                sharded.ingest(&eit_event(&sharded, user, round, -0.3)).unwrap();
+            }
+            sharded.flush().unwrap();
+        }
+        // bit-rot checkpoint B's snapshot file (the registered one)
+        let shard_dir = root.join("shard-0000");
+        let registered = ShardedEventLog::registered_snapshots(&root).unwrap()[0].unwrap();
+        let b_path = spa_store::snapshot::snapshot_path(&shard_dir, registered);
+        let mut bytes = std::fs::read(&b_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&b_path, &bytes).unwrap();
+        // recovery falls back one checkpoint interval (to A), not to a
+        // loud failure and not to a full replay (history before A is
+        // compacted away)
+        let (recovered, report) =
+            ShardedSpa::recover(&courses, SpaConfig::default(), &[], &root, log_config).unwrap();
+        assert_eq!(report.snapshots_loaded[0], Some(first_positions[0]));
+        assert_eq!(report.total_events(), 5, "replays everything after checkpoint A");
+        assert_eq!(recovered.stats().eit_answers, 11);
         let _ = std::fs::remove_dir_all(&root);
     }
 

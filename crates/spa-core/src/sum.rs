@@ -446,6 +446,14 @@ impl SumRegistry {
         f(shard.get(&user.raw()))
     }
 
+    /// Inserts (or replaces) a fully materialized model — the snapshot
+    /// restore path, which rebuilds models from checkpoint bytes rather
+    /// than replaying their update history.
+    pub(crate) fn insert_model(&self, model: SmartUserModel) {
+        debug_assert_eq!(model.dim(), self.dim, "model dimension must match the registry");
+        self.shard(model.user).write().insert(model.user.raw(), model);
+    }
+
     /// Sorted user ids present in the registry. Collected with one
     /// reservation + extend per shard read lock — no intermediate
     /// per-shard `Vec`s.
@@ -458,6 +466,103 @@ impl SumRegistry {
         }
         ids.sort_unstable();
         ids
+    }
+
+    /// Serializes every model into `out` — the SUM section of a
+    /// platform checkpoint ([`crate::snapshot`]).
+    ///
+    /// Layout (little-endian): `dim u32 | count u64`, then per model in
+    /// ascending user order: `user u32 | updates u64 | 10 × u32 eit
+    /// counters | nnz u32 | nnz × (idx u32, value-bits u64,
+    /// relevance-bits u64)`. Only attributes where either the value or
+    /// the relevance is a non-zero *bit pattern* are stored (advice
+    /// rows carry a handful of nonzeros out of 75, §5.2), and floats
+    /// travel as raw bits, so the round trip through
+    /// [`SumRegistry::restore_state`] is exact to the bit — including
+    /// a negative zero, should an update rule ever produce one.
+    pub fn write_state(&self, out: &mut Vec<u8>) {
+        let users = self.user_ids();
+        out.extend_from_slice(&(self.dim as u32).to_le_bytes());
+        out.extend_from_slice(&(users.len() as u64).to_le_bytes());
+        for user in users {
+            self.with_model_read(user, |model| {
+                let model = model.expect("listed user exists");
+                out.extend_from_slice(&user.raw().to_le_bytes());
+                out.extend_from_slice(&model.updates.to_le_bytes());
+                for c in &model.eit_answers {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+                let live = model
+                    .values
+                    .iter()
+                    .zip(model.relevance.iter())
+                    .enumerate()
+                    .filter(|&(_, (&v, &r))| v.to_bits() != 0 || r.to_bits() != 0);
+                let nnz = live.clone().count() as u32;
+                out.extend_from_slice(&nnz.to_le_bytes());
+                for (i, (&v, &r)) in live {
+                    out.extend_from_slice(&(i as u32).to_le_bytes());
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                    out.extend_from_slice(&r.to_bits().to_le_bytes());
+                }
+            });
+        }
+    }
+
+    /// Rebuilds models from bytes written by
+    /// [`SumRegistry::write_state`], inserting them into this (fresh)
+    /// registry. Returns how many models were restored. Every length
+    /// and index is bounds-checked, so corrupt input errors rather
+    /// than panics — though in practice the enclosing snapshot CRC
+    /// rejects corruption before decoding starts.
+    pub fn restore_state(&self, bytes: &[u8]) -> Result<u64> {
+        use spa_store::snapshot::take;
+        let mut cursor = bytes;
+        let dim = u32::from_le_bytes(take(&mut cursor, 4, "dim")?.try_into().expect("4")) as usize;
+        if dim != self.dim {
+            return Err(SpaError::DimensionMismatch { got: dim, expected: self.dim });
+        }
+        let count = u64::from_le_bytes(take(&mut cursor, 8, "model count")?.try_into().expect("8"));
+        for _ in 0..count {
+            let user = UserId::new(u32::from_le_bytes(
+                take(&mut cursor, 4, "user")?.try_into().expect("4"),
+            ));
+            let updates =
+                u64::from_le_bytes(take(&mut cursor, 8, "updates")?.try_into().expect("8"));
+            let mut eit_answers = [0u32; 10];
+            let eit = take(&mut cursor, 40, "eit counters")?;
+            for (i, slot) in eit_answers.iter_mut().enumerate() {
+                *slot = u32::from_le_bytes(eit[i * 4..i * 4 + 4].try_into().expect("4"));
+            }
+            let nnz =
+                u32::from_le_bytes(take(&mut cursor, 4, "nnz")?.try_into().expect("4")) as usize;
+            if nnz > dim {
+                return Err(SpaError::Corrupt(format!("model for {user}: nnz {nnz} > dim {dim}")));
+            }
+            let mut values = vec![0.0; dim];
+            let mut relevance = vec![0.0; dim];
+            for _ in 0..nnz {
+                let entry = take(&mut cursor, 20, "model entry")?;
+                let index = u32::from_le_bytes(entry[0..4].try_into().expect("4")) as usize;
+                if index >= dim {
+                    return Err(SpaError::Corrupt(format!(
+                        "model for {user}: attribute index {index} out of range"
+                    )));
+                }
+                values[index] =
+                    f64::from_bits(u64::from_le_bytes(entry[4..12].try_into().expect("8")));
+                relevance[index] =
+                    f64::from_bits(u64::from_le_bytes(entry[12..20].try_into().expect("8")));
+            }
+            self.insert_model(SmartUserModel { user, values, relevance, eit_answers, updates });
+        }
+        if !cursor.is_empty() {
+            return Err(SpaError::Corrupt(format!(
+                "{} trailing bytes after SUM state",
+                cursor.len()
+            )));
+        }
+        Ok(count)
     }
 
     /// Persists the registry into a [`ProfileStore`] snapshot layout:
@@ -808,6 +913,48 @@ mod tests {
         for id in 0..50u32 {
             assert_eq!(restored.get(UserId::new(id)), reg.get(UserId::new(id)));
         }
+    }
+
+    #[test]
+    fn registry_state_round_trips_bit_exactly() {
+        let s = schema();
+        let reg = SumRegistry::new(75, SumConfig::default());
+        for id in 0..40u32 {
+            reg.with_model(UserId::new(id), |m, config| {
+                m.set_observed(AttributeId::new(id % 40), id as f64 / 41.0).unwrap();
+                m.apply_eit_answer(
+                    s.emotional_ids()[(id % 10) as usize],
+                    (id % 10) as usize,
+                    Valence::new(0.3),
+                    config,
+                )
+                .unwrap();
+                if id % 3 == 0 {
+                    m.reward(&[s.emotional_ids()[0]], config).unwrap();
+                }
+            });
+        }
+        let mut state = Vec::new();
+        reg.write_state(&mut state);
+        let restored = SumRegistry::new(75, SumConfig::default());
+        assert_eq!(restored.restore_state(&state).unwrap(), 40);
+        assert_eq!(restored.len(), 40);
+        for id in 0..40u32 {
+            let a = reg.get(UserId::new(id)).unwrap();
+            let b = restored.get(UserId::new(id)).unwrap();
+            assert_eq!(a.updates(), b.updates());
+            assert_eq!(a.eit_answer_counts(), b.eit_answer_counts());
+            for i in 0..75u32 {
+                let attr = AttributeId::new(i);
+                assert_eq!(a.value(attr).to_bits(), b.value(attr).to_bits());
+                assert_eq!(a.relevance(attr).to_bits(), b.relevance(attr).to_bits());
+            }
+        }
+        // trailing garbage and dimension mismatches are loud
+        let mut trailing = state.clone();
+        trailing.push(0);
+        assert!(SumRegistry::new(75, SumConfig::default()).restore_state(&trailing).is_err());
+        assert!(SumRegistry::new(10, SumConfig::default()).restore_state(&state).is_err());
     }
 
     #[test]

@@ -157,6 +157,56 @@ impl LinearSvm {
         Ok(())
     }
 
+    /// Serializes the learned state — weights, bias, Pegasos step
+    /// counter, trained flag — into `out` (little-endian, layout:
+    /// `dim u32 | trained u8 | t u64 | bias f64 | dim × f64 weights`).
+    /// Hyper-parameters are **not** included: they are configuration,
+    /// reconstructed by the caller at restore time; only what training
+    /// learned needs to survive a restart. Round-trip through
+    /// [`LinearSvm::read_state`] is bit-exact, so a restored model
+    /// scores and keeps learning (the decaying `1/(λt)` step size
+    /// continues from `t`) identically to the live one.
+    pub fn write_state(&self, out: &mut Vec<u8>) {
+        out.reserve(4 + 1 + 8 + 8 + self.weights.len() * 8);
+        out.extend_from_slice(&(self.weights.len() as u32).to_le_bytes());
+        out.push(self.trained as u8);
+        out.extend_from_slice(&self.t.to_le_bytes());
+        out.extend_from_slice(&self.bias.to_le_bytes());
+        for w in &self.weights {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Restores the learned state written by [`LinearSvm::write_state`]
+    /// into this model (hyper-parameters are kept as constructed). The
+    /// stored dimension must match; any length mismatch is loud.
+    pub fn read_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let expected = 4 + 1 + 8 + 8 + self.weights.len() * 8;
+        if bytes.len() != expected {
+            return Err(SpaError::Corrupt(format!(
+                "svm state is {} bytes, expected {expected}",
+                bytes.len()
+            )));
+        }
+        let dim = u32::from_le_bytes(bytes[0..4].try_into().expect("4")) as usize;
+        if dim != self.weights.len() {
+            return Err(SpaError::DimensionMismatch { got: dim, expected: self.weights.len() });
+        }
+        let trained = match bytes[4] {
+            0 => false,
+            1 => true,
+            other => return Err(SpaError::Corrupt(format!("svm trained flag has value {other}"))),
+        };
+        self.t = u64::from_le_bytes(bytes[5..13].try_into().expect("8"));
+        self.bias = f64::from_le_bytes(bytes[13..21].try_into().expect("8"));
+        for (i, w) in self.weights.iter_mut().enumerate() {
+            let at = 21 + i * 8;
+            *w = f64::from_le_bytes(bytes[at..at + 8].try_into().expect("8"));
+        }
+        self.trained = trained;
+        Ok(())
+    }
+
     /// Average hinge loss + L2 penalty on a dataset (the primal
     /// objective; useful for convergence tests).
     pub fn objective(&self, data: &Dataset) -> Result<f64> {
@@ -354,6 +404,66 @@ mod tests {
         let mut svm = LinearSvm::with_dim(3);
         assert!(svm.partial_fit(&SparseVec::zeros(2), 1.0).is_err());
         assert!(svm.partial_fit(&SparseVec::zeros(3), 0.3).is_err());
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_exact_and_keeps_learning_identically() {
+        let data = separable(300, 4, 21);
+        let mut live = LinearSvm::with_dim(4);
+        live.fit(&data).unwrap();
+        let mut state = Vec::new();
+        live.write_state(&mut state);
+        let mut restored = LinearSvm::with_dim(4);
+        restored.read_state(&state).unwrap();
+        assert!(restored.is_trained());
+        assert_eq!(restored.bias().to_bits(), live.bias().to_bits());
+        for (a, b) in restored.weights().iter().zip(live.weights().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // scoring and further online updates stay bit-identical (the
+        // Pegasos step counter survives, so the step size decays in
+        // lockstep)
+        let more = separable(50, 4, 22);
+        for r in 0..more.len() {
+            live.partial_fit_view(more.x.row(r), more.y[r]).unwrap();
+            restored.partial_fit_view(more.x.row(r), more.y[r]).unwrap();
+        }
+        for r in 0..more.len() {
+            let a = live.decision_view(more.x.row(r)).unwrap();
+            let b = restored.decision_view(more.x.row(r)).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn untrained_state_round_trips_as_untrained() {
+        let fresh = LinearSvm::with_dim(3);
+        let mut state = Vec::new();
+        fresh.write_state(&mut state);
+        let mut restored = LinearSvm::with_dim(3);
+        restored.read_state(&state).unwrap();
+        assert!(!restored.is_trained());
+        assert!(restored.decision_function(&SparseVec::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn read_state_validates_shape() {
+        let mut svm = LinearSvm::with_dim(3);
+        let mut state = Vec::new();
+        LinearSvm::with_dim(4).write_state(&mut state);
+        assert!(svm.read_state(&state).is_err(), "length mismatch is loud");
+        let mut same_len = Vec::new();
+        LinearSvm::with_dim(3).write_state(&mut same_len);
+        let mut wrong_dim = same_len.clone();
+        wrong_dim[0..4].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            svm.read_state(&wrong_dim),
+            Err(SpaError::DimensionMismatch { got: 7, expected: 3 })
+        ));
+        let mut bad_flag = same_len.clone();
+        bad_flag[4] = 9;
+        assert!(matches!(svm.read_state(&bad_flag), Err(SpaError::Corrupt(_))));
+        assert!(svm.read_state(&same_len[..same_len.len() - 1]).is_err(), "truncation is loud");
     }
 
     #[test]

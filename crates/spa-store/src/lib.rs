@@ -17,6 +17,11 @@
 //!   above a threshold) used by the Attributes Manager;
 //! * [`shard_log`] — **per-shard** event-log handles under one root
 //!   directory with a manifest, backing the sharded serving platform;
+//! * [`snapshot`] — versioned, checksummed, atomically written
+//!   **state snapshots** covering a [`log::LogPosition`], so recovery
+//!   loads a checkpoint and replays only the log tail behind it
+//!   (bounded-time recovery) and covered segments can be compacted
+//!   away;
 //! * [`csv`] — plain-text import/export for datasets and reports.
 
 #![forbid(unsafe_code)]
@@ -28,8 +33,12 @@ pub mod index;
 pub mod log;
 pub mod profile;
 pub mod shard_log;
+pub mod snapshot;
 
 pub use index::SensibilityIndex;
-pub use log::{EventLog, LogStats, ReplayIter, ReplayOutcome, TornTail};
+pub use log::{
+    CompactionStats, EventLog, LogPosition, LogStats, ReplayIter, ReplayOutcome, TornTail,
+};
 pub use profile::{ProfileStore, UserProfile};
 pub use shard_log::ShardedEventLog;
+pub use snapshot::{Snapshot, SnapshotBuilder};

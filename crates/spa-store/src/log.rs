@@ -43,6 +43,37 @@ pub struct LogStats {
     pub events_appended: u64,
 }
 
+/// A durable position in a segmented log: the byte `offset` within
+/// segment `segment` where the next frame will begin. Positions are
+/// recorded by [`EventLog::flushed_position`] (always on a frame
+/// boundary), stored inside snapshots ([`crate::snapshot`]), and
+/// consumed by [`EventLog::replay_iter_from`] (replay the tail after a
+/// checkpoint) and [`EventLog::compact_before`] (delete fully covered
+/// segments). Ordered by `(segment, offset)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LogPosition {
+    /// Segment index the position points into.
+    pub segment: u64,
+    /// Byte offset within that segment (frame boundary).
+    pub offset: u64,
+}
+
+impl std::fmt::Display for LogPosition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.segment, self.offset)
+    }
+}
+
+/// What [`EventLog::compact_before`] removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionStats {
+    /// Segment files deleted (every one strictly below the position's
+    /// segment index).
+    pub segments_deleted: usize,
+    /// Bytes those segments held.
+    pub bytes_reclaimed: u64,
+}
+
 /// Where a replay found the final segment cut off mid-frame — the
 /// signature of a crash during an append. Everything before `offset`
 /// decoded cleanly; the bytes from `offset` to the end of the segment
@@ -303,6 +334,89 @@ impl EventLog {
         Ok(())
     }
 
+    /// Flushes, then returns the writer's current position — the frame
+    /// boundary where the next append will land. Everything before this
+    /// position is on disk (through the OS; through the platter when
+    /// `fsync`), which is what makes it safe to record inside a
+    /// checkpoint as "the log prefix this snapshot covers".
+    pub fn flushed_position(&self) -> Result<LogPosition> {
+        let mut w = self.writer.lock();
+        w.file.flush()?;
+        if self.config.fsync {
+            w.file.get_ref().sync_all()?;
+        }
+        Ok(LogPosition { segment: w.segment_index, offset: w.segment_bytes })
+    }
+
+    /// The writer's current frame boundary **without any I/O** — the
+    /// position accounts for buffered-but-unflushed appends. Use when a
+    /// caller needs the position while holding a latency-sensitive lock
+    /// and will make the prefix durable with [`EventLog::sync_up_to`]
+    /// *before* acting on it (a checkpoint must sync before registering
+    /// the snapshot).
+    pub fn buffered_position(&self) -> LogPosition {
+        let w = self.writer.lock();
+        LogPosition { segment: w.segment_index, offset: w.segment_bytes }
+    }
+
+    /// Makes the log durable up to `position` **regardless of the
+    /// `fsync` configuration**: flushes the writer, then fsyncs the
+    /// position's segment file by path (the writer may have rolled past
+    /// it since the position was recorded).
+    ///
+    /// A checkpoint must call this before registering `position` in the
+    /// manifest. The snapshot and manifest writes are always fsynced;
+    /// if the WAL bytes they point at stayed in the page cache, a power
+    /// loss after compaction would leave a durable registration whose
+    /// offset lies beyond the surviving segment — permanently
+    /// unrecoverable, even though the snapshot holds all covered state.
+    /// One extra fsync per checkpoint closes that window without
+    /// imposing per-append fsync costs.
+    pub fn sync_up_to(&self, position: LogPosition) -> Result<()> {
+        self.flush()?;
+        OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(segment_path(&self.dir, position.segment))?
+            .sync_all()?;
+        Ok(())
+    }
+
+    /// Deletes every segment file strictly below `position.segment` —
+    /// they are fully covered by a snapshot taken at `position`, so
+    /// replay will never need them again. The position's own segment is
+    /// always kept (replay resumes inside it at `position.offset`).
+    /// Safe to call while the log is open for appending: only closed,
+    /// older segments are removed.
+    pub fn compact_before(&self, position: LogPosition) -> Result<CompactionStats> {
+        Self::compact_dir_before(&self.dir, position)
+    }
+
+    /// [`EventLog::compact_before`] for a directory without an open
+    /// writer (the recovery-tooling form).
+    pub fn compact_dir_before(
+        dir: impl AsRef<Path>,
+        position: LogPosition,
+    ) -> Result<CompactionStats> {
+        let mut stats = CompactionStats::default();
+        for (index, path) in list_segments(dir.as_ref())? {
+            if index < position.segment {
+                stats.bytes_reclaimed += fs::metadata(&path)?.len();
+                fs::remove_file(&path)?;
+                stats.segments_deleted += 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Lowest segment index present in a log directory (`None` for an
+    /// empty directory). `Some(0)` means the full history survives —
+    /// the precondition for a from-scratch replay after a snapshot
+    /// fails to load; a compacted log starts at a later index.
+    pub fn first_segment_index(dir: impl AsRef<Path>) -> Result<Option<u64>> {
+        Ok(list_segments(dir.as_ref())?.first().map(|&(i, _)| i))
+    }
+
     /// Statistics over the on-disk segments (flush first for an exact
     /// byte count).
     pub fn stats(&self) -> Result<LogStats> {
@@ -350,11 +464,43 @@ impl EventLog {
     /// exhaustion, [`ReplayIter::torn_tail`] reports a partial final
     /// frame if the log ends mid-write.
     pub fn replay_iter(dir: impl AsRef<Path>) -> Result<ReplayIter> {
+        Self::replay_iter_from(dir, LogPosition::default())
+    }
+
+    /// Streaming replay of only the log **tail** after `from` — the
+    /// segment tail a snapshot does not cover. Segments below
+    /// `from.segment` are skipped without being opened (compaction may
+    /// already have deleted them); the start segment is read from
+    /// `from.offset` (a frame boundary recorded by
+    /// [`EventLog::flushed_position`]), so replay cost is proportional
+    /// to the tail, not the history.
+    ///
+    /// A non-zero `from` whose segment file is missing is loud
+    /// corruption: it means compaction outran the snapshot that was
+    /// supposed to cover those events.
+    pub fn replay_iter_from(dir: impl AsRef<Path>, from: LogPosition) -> Result<ReplayIter> {
+        let all = list_segments(dir.as_ref())?;
+        let segments: Vec<(u64, PathBuf)> =
+            all.into_iter().filter(|&(i, _)| i >= from.segment).collect();
+        if from != LogPosition::default() {
+            match segments.first() {
+                Some(&(index, _)) if index == from.segment => {}
+                _ => {
+                    return Err(SpaError::Corrupt(format!(
+                        "log {} has no segment {} to resume from position {from}",
+                        dir.as_ref().display(),
+                        from.segment
+                    )))
+                }
+            }
+        }
         Ok(ReplayIter {
-            segments: list_segments(dir.as_ref())?,
+            segments,
             seg_pos: 0,
             buf: Vec::new(),
             offset: 0,
+            base: 0,
+            start: from,
             loaded: false,
             torn_tail: None,
             failed: false,
@@ -399,6 +545,13 @@ pub struct ReplayIter {
     seg_pos: usize,
     buf: Vec<u8>,
     offset: usize,
+    /// Absolute byte offset of `buf[0]` within the current segment file
+    /// (non-zero only for a start segment entered mid-file via
+    /// [`EventLog::replay_iter_from`]). Reported offsets add this base.
+    base: u64,
+    /// Where replay begins (frame boundary); `LogPosition::default()`
+    /// replays everything.
+    start: LogPosition,
     loaded: bool,
     torn_tail: Option<TornTail>,
     failed: bool,
@@ -426,12 +579,36 @@ impl Iterator for ReplayIter {
         }
         loop {
             if !self.loaded {
-                let (_, path) = self.segments.get(self.seg_pos)?;
+                let (index, path) = self.segments.get(self.seg_pos)?;
+                // a start segment entered mid-file reads only its tail
+                let base = if *index == self.start.segment { self.start.offset } else { 0 };
                 self.buf.clear();
-                if let Err(e) = File::open(path).and_then(|mut f| f.read_to_end(&mut self.buf)) {
+                let read = File::open(path).and_then(|mut f| {
+                    let len = f.metadata()?.len();
+                    if base > len {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!(
+                                "segment {} is {len} bytes, shorter than resume offset {base}",
+                                path.display()
+                            ),
+                        ));
+                    }
+                    if base > 0 {
+                        use std::io::Seek;
+                        f.seek(std::io::SeekFrom::Start(base))?;
+                    }
+                    f.read_to_end(&mut self.buf)
+                });
+                if let Err(e) = read {
                     self.failed = true;
-                    return Some(Err(e.into()));
+                    return Some(Err(if e.kind() == std::io::ErrorKind::InvalidData {
+                        SpaError::Corrupt(e.to_string())
+                    } else {
+                        e.into()
+                    }));
                 }
+                self.base = base;
                 self.offset = 0;
                 self.loaded = true;
             }
@@ -447,7 +624,7 @@ impl Iterator for ReplayIter {
                         // torn tail write — recoverable, end of replay
                         self.torn_tail = Some(TornTail {
                             segment: *index,
-                            offset: self.offset as u64,
+                            offset: self.base + self.offset as u64,
                             bytes_dropped: (self.buf.len() - self.offset) as u64,
                         });
                         self.seg_pos = self.segments.len();
@@ -458,12 +635,16 @@ impl Iterator for ReplayIter {
                         let msg = format!(
                             "segment {} truncated mid-log at offset {}",
                             path.display(),
-                            self.offset
+                            self.base + self.offset as u64
                         );
                         return self.fail(msg);
                     }
                     Err(e) => {
-                        let msg = format!("segment {} offset {}: {e}", path.display(), self.offset);
+                        let msg = format!(
+                            "segment {} offset {}: {e}",
+                            path.display(),
+                            self.base + self.offset as u64
+                        );
                         return self.fail(msg);
                     }
                 }
@@ -793,6 +974,124 @@ mod tests {
         assert!(outcome.torn_tail.is_none());
         log.append(&event(5)).unwrap();
         assert_eq!(log.replay().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn flushed_position_tracks_the_frame_boundary() {
+        let dir = tmp_dir("position");
+        let config = LogConfig { segment_bytes: 256, fsync: false };
+        let log = EventLog::open(&dir, config).unwrap();
+        assert_eq!(log.flushed_position().unwrap(), LogPosition::default());
+        for i in 0..30 {
+            log.append(&event(i)).unwrap();
+        }
+        let pos = log.flushed_position().unwrap();
+        assert!(pos.segment > 0, "30 events must roll a 256-byte segment");
+        // the recorded position equals the on-disk size of its segment
+        assert_eq!(fs::metadata(segment_path(&dir, pos.segment)).unwrap().len(), pos.offset);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_from_position_yields_exactly_the_tail() {
+        let dir = tmp_dir("replay-from");
+        let config = LogConfig { segment_bytes: 256, fsync: false };
+        let log = EventLog::open(&dir, config).unwrap();
+        let events: Vec<_> = (0..100).map(event).collect();
+        for e in &events[..60] {
+            log.append(e).unwrap();
+        }
+        let mark = log.flushed_position().unwrap();
+        for e in &events[60..] {
+            log.append(e).unwrap();
+        }
+        log.flush().unwrap();
+        let tail: Vec<_> =
+            EventLog::replay_iter_from(&dir, mark).unwrap().collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(tail, &events[60..], "tail replay must resume exactly at the mark");
+        // position-at-end replays nothing
+        let end = log.flushed_position().unwrap();
+        assert_eq!(EventLog::replay_iter_from(&dir, end).unwrap().count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_from_position_reports_torn_tail_with_absolute_offset() {
+        let dir = tmp_dir("replay-from-torn");
+        let log = EventLog::open_default(&dir).unwrap();
+        for i in 0..10 {
+            log.append(&event(i)).unwrap();
+        }
+        let mark = log.flushed_position().unwrap();
+        for i in 10..20 {
+            log.append(&event(i)).unwrap();
+        }
+        log.flush().unwrap();
+        let seg = list_segments(&dir).unwrap().pop().unwrap().1;
+        let len = fs::metadata(&seg).unwrap().len();
+        OpenOptions::new().write(true).open(&seg).unwrap().set_len(len - 3).unwrap();
+        let mut iter = EventLog::replay_iter_from(&dir, mark).unwrap();
+        let tail: Vec<_> = iter.by_ref().collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(tail.len(), 9, "9 intact tail events, the 10th is torn");
+        let torn = iter.torn_tail().expect("tail is torn");
+        assert_eq!(torn.offset + torn.bytes_dropped, len - 3, "offset must be segment-absolute");
+        // the absolute offset works with truncate_torn_tail
+        EventLog::truncate_torn_tail(&dir, &torn).unwrap();
+        assert_eq!(fs::metadata(&seg).unwrap().len(), torn.offset);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_deletes_only_covered_segments() {
+        let dir = tmp_dir("compact");
+        let config = LogConfig { segment_bytes: 256, fsync: false };
+        let log = EventLog::open(&dir, config).unwrap();
+        let events: Vec<_> = (0..120).map(event).collect();
+        for e in &events[..90] {
+            log.append(e).unwrap();
+        }
+        let mark = log.flushed_position().unwrap();
+        for e in &events[90..] {
+            log.append(e).unwrap();
+        }
+        log.flush().unwrap();
+        assert!(mark.segment >= 2, "need several covered segments");
+        let before = log.stats().unwrap();
+        let stats = log.compact_before(mark).unwrap();
+        assert_eq!(stats.segments_deleted as u64, mark.segment);
+        assert!(stats.bytes_reclaimed > 0);
+        let after = log.stats().unwrap();
+        assert_eq!(after.segments, before.segments - stats.segments_deleted);
+        assert_eq!(EventLog::first_segment_index(&dir).unwrap(), Some(mark.segment));
+        // tail replay from the mark is unaffected by compaction
+        let tail: Vec<_> =
+            EventLog::replay_iter_from(&dir, mark).unwrap().collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(tail, &events[90..]);
+        // …and appending still works after compaction
+        log.append(&event(500)).unwrap();
+        log.flush().unwrap();
+        let tail2: Vec<_> =
+            EventLog::replay_iter_from(&dir, mark).unwrap().collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(tail2.len(), 31);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resuming_past_compaction_is_loud() {
+        let dir = tmp_dir("compact-gap");
+        let config = LogConfig { segment_bytes: 256, fsync: false };
+        let log = EventLog::open(&dir, config).unwrap();
+        for i in 0..90 {
+            log.append(&event(i)).unwrap();
+        }
+        let mark = log.flushed_position().unwrap();
+        log.flush().unwrap();
+        // compact past the snapshot position (an operator error): the
+        // mark's own segment is gone, so resuming must fail loudly
+        // rather than silently skipping events
+        log.compact_before(LogPosition { segment: mark.segment + 1, offset: 0 }).unwrap();
+        assert!(matches!(EventLog::replay_iter_from(&dir, mark), Err(SpaError::Corrupt(_))));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

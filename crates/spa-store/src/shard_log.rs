@@ -6,8 +6,24 @@
 //! process can rediscover the layout without out-of-band configuration.
 //! Routing (user → shard) is the caller's business — the log set only
 //! guarantees that shard `i` always maps to the same directory.
+//!
+//! The manifest also **registers checkpoints**: after a platform
+//! checkpoint writes one snapshot per shard
+//! ([`crate::snapshot`]), the manifest is atomically rewritten with one
+//! `snapshot <shard> <segment> <offset>` line per shard, naming the
+//! newest snapshot and the segment position it covers. Recovery reads
+//! the registration to find each shard's snapshot; compaction reads it
+//! to know which segments are fully covered and safe to delete.
+//!
+//! ```text
+//! shards.manifest:
+//!   <shard count>
+//!   snapshot 0 2 40960
+//!   snapshot 1 1 8834
+//!   …
+//! ```
 
-use crate::log::{EventLog, LogConfig, LogStats, ReplayOutcome};
+use crate::log::{CompactionStats, EventLog, LogConfig, LogPosition, LogStats, ReplayOutcome};
 use spa_types::{LifeLogEvent, Result, ShardId, SpaError};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -18,14 +34,77 @@ fn shard_dir(root: &Path, shard: usize) -> PathBuf {
     root.join(format!("shard-{shard:04}"))
 }
 
-fn read_manifest(root: &Path) -> Result<usize> {
+/// Parsed contents of `shards.manifest`: the shard count plus the
+/// registered snapshot position per shard (`None` where no checkpoint
+/// has been registered yet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Manifest {
+    shards: usize,
+    snapshots: Vec<Option<LogPosition>>,
+}
+
+fn parse_manifest(path: &Path, text: &str) -> Result<Manifest> {
+    let corrupt = |what: &str| SpaError::Corrupt(format!("manifest {}: {what}", path.display()));
+    let mut lines = text.lines();
+    let shards = lines
+        .next()
+        .and_then(|l| l.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .ok_or_else(|| corrupt("bad shard count on line 1"))?;
+    let mut snapshots = vec![None; shards];
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["snapshot", shard, segment, offset] => {
+                let shard = shard
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&s| s < shards)
+                    .ok_or_else(|| corrupt(&format!("snapshot line names shard {shard:?}")))?;
+                let segment = segment
+                    .parse::<u64>()
+                    .map_err(|_| corrupt(&format!("bad snapshot segment {segment:?}")))?;
+                let offset = offset
+                    .parse::<u64>()
+                    .map_err(|_| corrupt(&format!("bad snapshot offset {offset:?}")))?;
+                snapshots[shard] = Some(LogPosition { segment, offset });
+            }
+            _ => return Err(corrupt(&format!("unrecognized line {line:?}"))),
+        }
+    }
+    Ok(Manifest { shards, snapshots })
+}
+
+fn load_manifest(root: &Path) -> Result<Manifest> {
     let path = root.join(MANIFEST);
     let text = fs::read_to_string(&path).map_err(|e| {
         SpaError::Io(std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))
     })?;
-    text.trim().parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
-        SpaError::Corrupt(format!("manifest {}: bad shard count {text:?}", path.display()))
-    })
+    parse_manifest(&path, &text)
+}
+
+fn store_manifest(root: &Path, manifest: &Manifest) -> Result<()> {
+    let mut text = format!("{}\n", manifest.shards);
+    for (shard, position) in manifest.snapshots.iter().enumerate() {
+        if let Some(p) = position {
+            text.push_str(&format!("snapshot {shard} {} {}\n", p.segment, p.offset));
+        }
+    }
+    // atomic rewrite: a crash mid-checkpoint must leave the previous
+    // registration intact, never a half-written manifest
+    crate::snapshot::write_file_atomic(
+        &root.join(MANIFEST),
+        &root.join(format!("{MANIFEST}.tmp")),
+        text.as_bytes(),
+    )
+}
+
+fn read_manifest(root: &Path) -> Result<usize> {
+    Ok(load_manifest(root)?.shards)
 }
 
 /// One [`EventLog`] per shard under a root directory, with a manifest
@@ -139,6 +218,58 @@ impl ShardedEventLog {
         read_manifest(root)
     }
 
+    /// Flushes one shard's log and returns its current frame-boundary
+    /// position (see [`EventLog::flushed_position`]).
+    pub fn position(&self, shard: ShardId) -> Result<LogPosition> {
+        self.logs[shard.index()].flushed_position()
+    }
+
+    /// One shard's current frame-boundary position without I/O (see
+    /// [`EventLog::buffered_position`]).
+    pub fn buffered_position(&self, shard: ShardId) -> LogPosition {
+        self.logs[shard.index()].buffered_position()
+    }
+
+    /// Makes one shard's log durable up to `position` irrespective of
+    /// the `fsync` configuration (see [`EventLog::sync_up_to`]).
+    pub fn sync_up_to(&self, shard: ShardId, position: LogPosition) -> Result<()> {
+        self.logs[shard.index()].sync_up_to(position)
+    }
+
+    /// Deletes one shard's segments fully covered by a snapshot at
+    /// `position` (see [`EventLog::compact_before`]).
+    pub fn compact_before(&self, shard: ShardId, position: LogPosition) -> Result<CompactionStats> {
+        self.logs[shard.index()].compact_before(position)
+    }
+
+    /// Atomically registers one snapshot position per shard in the
+    /// manifest (the final step of a platform checkpoint: once this
+    /// returns, recovery will prefer the new snapshots). Entries are
+    /// merged — shards passed as `None` keep their previous
+    /// registration.
+    pub fn register_snapshots(root: &Path, positions: &[Option<LogPosition>]) -> Result<()> {
+        let mut manifest = load_manifest(root)?;
+        if positions.len() != manifest.shards {
+            return Err(SpaError::Invalid(format!(
+                "registering {} snapshot positions for a {}-shard log",
+                positions.len(),
+                manifest.shards
+            )));
+        }
+        for (slot, position) in manifest.snapshots.iter_mut().zip(positions) {
+            if position.is_some() {
+                *slot = *position;
+            }
+        }
+        store_manifest(root, &manifest)
+    }
+
+    /// The registered snapshot position per shard (`None` where no
+    /// checkpoint has ever been registered).
+    pub fn registered_snapshots(root: &Path) -> Result<Vec<Option<LogPosition>>> {
+        Ok(load_manifest(root)?.snapshots)
+    }
+
     /// The directory holding one shard's segments (for writer-free
     /// streaming replay via [`EventLog::replay_iter`]).
     pub fn shard_path(root: &Path, shard: ShardId) -> PathBuf {
@@ -220,6 +351,52 @@ mod tests {
         let root = tmp_root("badmanifest");
         fs::create_dir_all(&root).unwrap();
         fs::write(root.join(MANIFEST), "not-a-number\n").unwrap();
+        assert!(matches!(
+            ShardedEventLog::open_existing(&root, LogConfig::default()),
+            Err(SpaError::Corrupt(_))
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn snapshot_registration_round_trips_and_merges() {
+        let root = tmp_root("register");
+        {
+            let _ = ShardedEventLog::open(&root, 3, LogConfig::default()).unwrap();
+        }
+        assert_eq!(
+            ShardedEventLog::registered_snapshots(&root).unwrap(),
+            vec![None, None, None],
+            "fresh manifest has no registrations"
+        );
+        let first = LogPosition { segment: 2, offset: 100 };
+        ShardedEventLog::register_snapshots(&root, &[Some(first), None, None]).unwrap();
+        assert_eq!(
+            ShardedEventLog::registered_snapshots(&root).unwrap(),
+            vec![Some(first), None, None]
+        );
+        // a later registration for other shards keeps shard 0's entry
+        let second = LogPosition { segment: 0, offset: 7 };
+        ShardedEventLog::register_snapshots(&root, &[None, Some(second), None]).unwrap();
+        assert_eq!(
+            ShardedEventLog::registered_snapshots(&root).unwrap(),
+            vec![Some(first), Some(second), None]
+        );
+        // the count line still reads back, and reopening still works
+        assert_eq!(ShardedEventLog::manifest_shards(&root).unwrap(), 3);
+        assert!(ShardedEventLog::open_existing(&root, LogConfig::default()).is_ok());
+        // wrong-arity registration is rejected
+        assert!(ShardedEventLog::register_snapshots(&root, &[None]).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn manifest_rejects_bad_snapshot_lines() {
+        let root = tmp_root("badsnapline");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(root.join(MANIFEST), "2\nsnapshot 5 0 0\n").unwrap();
+        assert!(matches!(ShardedEventLog::registered_snapshots(&root), Err(SpaError::Corrupt(_))));
+        fs::write(root.join(MANIFEST), "2\nnonsense line\n").unwrap();
         assert!(matches!(
             ShardedEventLog::open_existing(&root, LogConfig::default()),
             Err(SpaError::Corrupt(_))

@@ -1,15 +1,24 @@
-//! Sharded online serving with durable ingest and crash recovery.
+//! Sharded online serving with durable ingest, checkpoints and
+//! bounded-time crash recovery.
 //!
-//! Runs the full lifecycle the sharded platform is built for:
+//! Runs the full durability lifecycle the sharded platform is built
+//! for (WAL → checkpoint → compaction → crash → snapshot + tail
+//! recovery):
 //!
 //! 1. bring up a [`ShardedSpa`] with a per-shard write-ahead log;
 //! 2. ingest an event stream (EIT contact loops + web usage) for a
 //!    population of users, fanned out across shards;
-//! 3. train the global selection function and rank the population;
-//! 4. "crash" — drop the whole in-memory platform, then tear one
+//! 3. train the global selection function, **checkpoint** every shard
+//!    (snapshot at a recorded log position, selection weights
+//!    included) and **compact** the covered segments away;
+//! 4. keep serving: ingest a post-checkpoint tail, rank the population;
+//! 5. "crash" — drop the whole in-memory platform, then tear one
 //!    shard's log mid-frame, as a real crash during an append would;
-//! 5. recover from the logs and show the rankings match on every user
-//!    whose events survived.
+//! 6. recover: each shard loads its snapshot and replays only the tail
+//!    behind it (the compacted history is never read again — it no
+//!    longer exists), the selection function comes back bit-identical
+//!    without retraining, and the rankings match on every user whose
+//!    tail events survived.
 //!
 //! ```bash
 //! cargo run --release --example sharded_serving [n_users] [shards]
@@ -29,9 +38,11 @@ fn main() {
 
     println!("=== sharded serving: {n_users} users across {shards} shards ===\n");
 
-    // 1. durable platform
+    // 1. durable platform (small segments so the history rolls several
+    // files per shard and compaction has something to reclaim)
+    let log_config = LogConfig { segment_bytes: 16 * 1024, fsync: false };
     let mut platform =
-        ShardedSpa::with_log(&courses, SpaConfig::default(), shards, &root, LogConfig::default())
+        ShardedSpa::with_log(&courses, SpaConfig::default(), shards, &root, log_config.clone())
             .unwrap();
     platform.register_campaign(campaigns[0].0, &campaigns[0].1);
 
@@ -78,24 +89,58 @@ fn main() {
         platform.shard_count()
     );
 
-    // 3. train the global selection function and rank everyone
+    // 3. train the global selection function, then checkpoint: every
+    // shard snapshots its state at a recorded log position (selection
+    // weights included) and the covered segments are compacted away —
+    // from here on, recovery never replays the pre-checkpoint history
     let mut data = Dataset::new(75);
     for &user in &users {
         let row = platform.advice_row(user).unwrap();
         data.push(&row, if row.get(65) > 0.3 { 1.0 } else { -1.0 }).unwrap();
     }
     platform.train_selection(&data).unwrap();
+    let ckpt_started = std::time::Instant::now();
+    let checkpoint = platform.checkpoint().unwrap();
+    let compaction = platform.compact().unwrap();
+    println!(
+        "checkpointed {} shards in {:.1?}: {:.1} KiB of snapshots; compaction reclaimed \
+         {:.1} KiB across {} segment files",
+        checkpoint.positions.len(),
+        ckpt_started.elapsed(),
+        checkpoint.snapshot_bytes as f64 / 1024.0,
+        compaction.bytes_reclaimed as f64 / 1024.0,
+        compaction.segments_deleted,
+    );
+
+    // 4. keep serving past the checkpoint: this tail is all that will
+    // ever be replayed again
+    let mut tail_events = 0usize;
+    let mut batch = Vec::with_capacity(users.len());
+    for &user in users.iter().filter(|u| u.raw() % 4 == 0) {
+        let question = platform.next_eit_question(user).id;
+        batch.push(LifeLogEvent::new(
+            user,
+            Timestamp::from_millis(7 * n_users as u64 + user.raw() as u64),
+            EventKind::EitAnswer { question, answer: Valence::new(0.4) },
+        ));
+    }
+    tail_events += platform.ingest_batch(batch.iter()).unwrap();
+    platform.flush().unwrap();
+    println!("ingested a {tail_events}-event post-checkpoint tail\n");
     let ranking_before = platform.rank(&users).unwrap();
     println!("top of the pre-crash ranking:");
     for (user, score) in ranking_before.iter().take(5) {
         println!("  {user}  score {score:+.4}  (shard {})", platform.shard_of(*user));
     }
 
-    // 4. crash: drop the platform, then tear one shard's tail segment
+    // 5. crash: drop the platform, then tear one shard's tail segment
     drop(platform);
     let victim = root.join("shard-0000");
-    let mut segments: Vec<_> =
-        std::fs::read_dir(&victim).unwrap().map(|entry| entry.unwrap().path()).collect();
+    let mut segments: Vec<_> = std::fs::read_dir(&victim)
+        .unwrap()
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "log"))
+        .collect();
     segments.sort();
     let tail = segments.last().unwrap();
     let len = std::fs::metadata(tail).unwrap().len();
@@ -107,24 +152,23 @@ fn main() {
         .unwrap();
     println!("\n*** crash! memory gone; {} torn 5 bytes mid-frame ***\n", tail.display());
 
-    // 5. recover and re-serve
+    // 6. recover: snapshot + tail, not history. Each shard loads its
+    // registered snapshot and replays only the events behind it; the
+    // selection function comes back from the checkpointed weights —
+    // no retraining step before serving resumes.
     let recover_started = std::time::Instant::now();
-    let (mut recovered, report) = ShardedSpa::recover(
-        &courses,
-        SpaConfig::default(),
-        &campaigns,
-        &root,
-        LogConfig::default(),
-    )
-    .unwrap();
+    let (recovered, report) =
+        ShardedSpa::recover(&courses, SpaConfig::default(), &campaigns, &root, log_config).unwrap();
     println!(
-        "recovered {} events in {:.1?} ({} shard(s) had a torn tail; the partial frame was \
-         dropped and truncated)",
-        report.total_events(),
+        "recovered in {:.1?}: {} shard(s) restored from snapshot, {} tail events replayed \
+         ({} torn tail(s) dropped), selection restored: {}",
         recover_started.elapsed(),
-        report.torn_shards()
+        report.shards_from_snapshot(),
+        report.total_events(),
+        report.torn_shards(),
+        report.selection_restored,
     );
-    recovered.train_selection(&data).unwrap();
+    assert!(report.selection_restored, "checkpointed weights must come back");
     let ranking_after = recovered.rank(&users).unwrap();
     let matching = ranking_before
         .iter()

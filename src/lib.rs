@@ -71,15 +71,19 @@ pub mod prelude {
     };
     pub use spa_core::platform::{Spa, SpaConfig};
     pub use spa_core::{
-        AssignedMessage, AssignmentCase, EitEngine, MessageCatalog, MessagePolicy, RecoveryReport,
-        SelectionFunction, ShardedSpa, SmartUserModel, SumConfig, SumRegistry,
+        AssignedMessage, AssignmentCase, CheckpointReport, CompactionReport, EitEngine,
+        MessageCatalog, MessagePolicy, RecoveryReport, SelectionFunction, ShardedSpa,
+        SmartUserModel, SumConfig, SumRegistry,
     };
     pub use spa_linalg::{CsrMatrix, SparseVec};
     pub use spa_ml::{
         BernoulliNb, Classifier, Dataset, LinearSvm, LogisticRegression, OnlineLearner,
     };
     pub use spa_store::log::LogConfig;
-    pub use spa_store::{EventLog, ProfileStore, SensibilityIndex, ShardedEventLog};
+    pub use spa_store::{
+        EventLog, LogPosition, ProfileStore, SensibilityIndex, ShardedEventLog, Snapshot,
+        SnapshotBuilder,
+    };
     pub use spa_synth::{
         ActionCatalog, ActionKind, Course, CourseCatalog, LatentUser, Population, PopulationConfig,
         ResponseConfig, ResponseModel,
