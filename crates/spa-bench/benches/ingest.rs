@@ -1,0 +1,343 @@
+//! The ingest write path: single vs sharded, per-event vs batch, with
+//! and without write-ahead durability, plus raw WAL framing and replay
+//! throughput (20k / 100k events).
+//!
+//! The stream is a steady-state serving mix — 8 events per user across
+//! the LifeLog kinds the pre-processor distills (actions, transactions,
+//! ratings, deliveries, opens). The `ingest_batch` benches **prefill**
+//! the platform with one pass of the stream during setup and measure a
+//! second pass, so the number is the write path itself (routing, WAL
+//! framing, stats, model updates), not first-touch model construction;
+//! `cold_wal_sharded8_100k` keeps the from-scratch shape for contrast.
+//! Outputs are bit-identical across every configuration measured here —
+//! `tests/ingest_fastpath.rs` enforces that.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use spa_core::platform::{Spa, SpaConfig};
+use spa_core::shard::ShardedSpa;
+use spa_store::log::LogConfig;
+use spa_store::EventLog;
+use spa_synth::catalog::CourseCatalog;
+use spa_types::{
+    ActionId, CampaignId, CourseId, EmotionalAttribute, EventKind, LifeLogEvent, Timestamp, UserId,
+};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const SHARDS: usize = 8;
+const EVENTS_PER_USER: usize = 8;
+const CAMPAIGN: CampaignId = CampaignId::new(1);
+const APPEAL: [EmotionalAttribute; 1] = [EmotionalAttribute::Hopeful];
+
+/// Steady-state serving mix: every user sees one event of each kind
+/// per cycle.
+fn mixed_stream(n_events: usize) -> Vec<LifeLogEvent> {
+    let users = (n_events / EVENTS_PER_USER).max(1);
+    (0..n_events)
+        .map(|i| {
+            let raw = i as u32;
+            let kind = match i % EVENTS_PER_USER {
+                0..=2 => EventKind::Action {
+                    action: ActionId::new(raw % 984),
+                    course: Some(CourseId::new(raw % 25)),
+                },
+                3 => EventKind::Action { action: ActionId::new(raw % 984), course: None },
+                4 => EventKind::Rating {
+                    course: CourseId::new(raw % 25),
+                    stars: (raw % 5 + 1) as u8,
+                },
+                5 => EventKind::Transaction {
+                    course: CourseId::new(raw % 25),
+                    campaign: Some(CAMPAIGN),
+                },
+                6 => EventKind::MessageDelivered { campaign: CAMPAIGN },
+                _ => EventKind::MessageOpened { campaign: CAMPAIGN },
+            };
+            LifeLogEvent::new(
+                UserId::new((i % users) as u32),
+                Timestamp::from_millis(i as u64),
+                kind,
+            )
+        })
+        .collect()
+}
+
+/// Scratch space for the WAL benches: tmpfs when the host has it
+/// (`/dev/shm`), so the measurement is the write path itself rather
+/// than disk-writeback variance, falling back to the system temp dir.
+fn scratch_base() -> PathBuf {
+    let shm = PathBuf::from("/dev/shm");
+    if shm.is_dir() {
+        shm
+    } else {
+        std::env::temp_dir()
+    }
+}
+
+fn tmp_root(tag: &str, round: u64) -> PathBuf {
+    let root =
+        scratch_base().join(format!("spa-bench-ingest-{tag}-{}-{round}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// Single platform, models prefilled with one pass of `stream`.
+fn warm_single(courses: &CourseCatalog, stream: &[LifeLogEvent]) -> Spa {
+    let spa = Spa::new(courses, SpaConfig::default());
+    spa.register_campaign(CAMPAIGN, &APPEAL);
+    spa.ingest_batch(stream.iter()).unwrap();
+    spa
+}
+
+/// Sharded platform, models prefilled with one pass of `stream`.
+fn warm_sharded(courses: &CourseCatalog, stream: &[LifeLogEvent]) -> ShardedSpa {
+    let sharded = ShardedSpa::new(courses, SpaConfig::default(), SHARDS).unwrap();
+    sharded.register_campaign(CAMPAIGN, &APPEAL);
+    sharded.ingest_batch(stream.iter()).unwrap();
+    sharded
+}
+
+/// WAL-backed sharded platform, models and logs prefilled.
+fn warm_sharded_wal(
+    courses: &CourseCatalog,
+    stream: &[LifeLogEvent],
+    tag: &str,
+    round: u64,
+) -> ShardedSpa {
+    let sharded = ShardedSpa::with_log(
+        courses,
+        SpaConfig::default(),
+        SHARDS,
+        tmp_root(tag, round),
+        LogConfig::default(),
+    )
+    .unwrap();
+    sharded.register_campaign(CAMPAIGN, &APPEAL);
+    sharded.ingest_batch(stream.iter()).unwrap();
+    sharded.flush().unwrap();
+    sharded
+}
+
+fn bench_ingest_batch(c: &mut Criterion) {
+    let courses = CourseCatalog::generate(25, 5, 3).unwrap();
+    for &n in &[20_000usize, 100_000] {
+        let stream = mixed_stream(n);
+        let mut group = c.benchmark_group("ingest_batch");
+        group.sample_size(20);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("single_{}k", n / 1000), |b| {
+            b.iter_batched(
+                || warm_single(&courses, &stream),
+                |spa| {
+                    spa.ingest_batch(stream.iter()).unwrap();
+                    spa.stats().actions
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(format!("sharded{SHARDS}_{}k", n / 1000), |b| {
+            b.iter_batched(
+                || warm_sharded(&courses, &stream),
+                |sharded| {
+                    sharded.ingest_batch(stream.iter()).unwrap();
+                    sharded.stats().actions
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        // the acceptance bench (100k): durable batch ingest, log + apply
+        group.bench_function(format!("wal_sharded{SHARDS}_{}k", n / 1000), |b| {
+            let mut round = 0u64;
+            b.iter_batched(
+                || {
+                    round += 1;
+                    warm_sharded_wal(&courses, &stream, "batch", round)
+                },
+                |sharded| {
+                    sharded.ingest_batch(stream.iter()).unwrap();
+                    sharded.flush().unwrap();
+                    sharded.stats().actions
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+
+    // from-scratch contrast: every user's first touch creates a model
+    let n = 100_000usize;
+    let stream = mixed_stream(n);
+    let mut group = c.benchmark_group("ingest_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(format!("cold_wal_sharded{SHARDS}_100k"), |b| {
+        let mut round = 0u64;
+        b.iter_batched(
+            || {
+                round += 1;
+                let sharded = ShardedSpa::with_log(
+                    &courses,
+                    SpaConfig::default(),
+                    SHARDS,
+                    tmp_root("cold", round),
+                    LogConfig::default(),
+                )
+                .unwrap();
+                sharded.register_campaign(CAMPAIGN, &APPEAL);
+                sharded
+            },
+            |sharded| {
+                sharded.ingest_batch(stream.iter()).unwrap();
+                sharded.flush().unwrap();
+                sharded.stats().actions
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_ingest_event(c: &mut Criterion) {
+    let courses = CourseCatalog::generate(25, 5, 3).unwrap();
+    let n = 20_000usize;
+    let stream = mixed_stream(n);
+    let mut group = c.benchmark_group("ingest_event");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("single_20k", |b| {
+        b.iter_batched(
+            || warm_single(&courses, &stream),
+            |spa| {
+                for event in &stream {
+                    spa.ingest(event).unwrap();
+                }
+                spa.stats().actions
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(format!("wal_sharded{SHARDS}_20k"), |b| {
+        let mut round = 0u64;
+        b.iter_batched(
+            || {
+                round += 1;
+                warm_sharded_wal(&courses, &stream, "event", round)
+            },
+            |sharded| {
+                for event in &stream {
+                    sharded.ingest(event).unwrap();
+                }
+                sharded.flush().unwrap();
+                sharded.stats().actions
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// Raw WAL throughput: the framing + buffered-write path alone, no
+/// in-memory apply — where per-frame allocation shows up undiluted.
+fn bench_wal_frame(c: &mut Criterion) {
+    let n = 100_000usize;
+    let stream = mixed_stream(n);
+    let mut group = c.benchmark_group("wal_frame");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("append_batch_100k", |b| {
+        let mut round = 0u64;
+        b.iter_batched(
+            || {
+                round += 1;
+                EventLog::open_default(tmp_root("frame", round)).unwrap()
+            },
+            |log| {
+                log.append_batch(stream.iter()).unwrap();
+                log.flush().unwrap();
+                log.stats().unwrap().events_appended
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let courses = CourseCatalog::generate(25, 5, 3).unwrap();
+    let n = 100_000usize;
+    let stream = mixed_stream(n);
+
+    // a fixed on-disk log for raw frame-decode throughput
+    let frame_dir = tmp_root("replay-frames", 0);
+    {
+        let log = EventLog::open_default(&frame_dir).unwrap();
+        log.append_batch(stream.iter()).unwrap();
+        log.flush().unwrap();
+    }
+    // and a fixed sharded root for full platform recovery
+    let root = tmp_root("replay-root", 0);
+    {
+        let sharded = ShardedSpa::with_log(
+            &courses,
+            SpaConfig::default(),
+            SHARDS,
+            &root,
+            LogConfig::default(),
+        )
+        .unwrap();
+        sharded.register_campaign(CAMPAIGN, &APPEAL);
+        sharded.ingest_batch(stream.iter()).unwrap();
+        sharded.flush().unwrap();
+    }
+
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("decode_100k", |b| {
+        b.iter(|| {
+            let iter = EventLog::replay_iter(&frame_dir).unwrap();
+            black_box(iter.map(|e| e.unwrap().user.raw() as u64).sum::<u64>())
+        })
+    });
+    group.bench_function(format!("recover_sharded{SHARDS}_100k"), |b| {
+        b.iter(|| {
+            let campaigns = [(CAMPAIGN, APPEAL.to_vec())];
+            let (recovered, report) = ShardedSpa::recover(
+                &courses,
+                SpaConfig::default(),
+                &campaigns,
+                &root,
+                LogConfig::default(),
+            )
+            .unwrap();
+            black_box((recovered.shard_count(), report.total_events()))
+        })
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&frame_dir);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+fn cleanup() {
+    // bounded sweep of the per-sample WAL trees the batched benches made
+    for tag in ["batch", "event", "frame", "cold"] {
+        for round in 1..=60u64 {
+            let _ = std::fs::remove_dir_all(
+                scratch_base()
+                    .join(format!("spa-bench-ingest-{tag}-{}-{round}", std::process::id())),
+            );
+        }
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    bench_ingest_batch(c);
+    bench_ingest_event(c);
+    bench_wal_frame(c);
+    bench_replay(c);
+    cleanup();
+}
+
+criterion_group!(ingest, benches);
+criterion_main!(ingest);

@@ -157,6 +157,21 @@ impl EitEngine {
         schema: &spa_types::AttributeSchema,
         event: &LifeLogEvent,
     ) -> Result<bool> {
+        registry.with_model_slot(event.user, |slot, config| self.apply(slot, schema, config, event))
+    }
+
+    /// [`EitEngine::ingest`] against an already-locked model slot — the
+    /// pre-processor's batched apply path routes EIT events here so one
+    /// user's events share a single lock acquisition. An answer naming
+    /// a question outside the bank errors **before** touching the slot,
+    /// so a rejected answer never materializes an empty model.
+    pub(crate) fn apply(
+        &self,
+        slot: &mut crate::sum::ModelSlot,
+        schema: &spa_types::AttributeSchema,
+        config: &crate::sum::SumConfig,
+        event: &LifeLogEvent,
+    ) -> Result<bool> {
         match &event.kind {
             EventKind::EitAnswer { question, answer } => {
                 let q = self
@@ -165,9 +180,7 @@ impl EitEngine {
                     .ok_or_else(|| SpaError::NotFound(format!("question {question}")))?;
                 let ordinal = q.target.ordinal();
                 let attr = schema.emotional_ids()[ordinal];
-                registry.with_model(event.user, |model, config| {
-                    model.apply_eit_answer(attr, ordinal, *answer, config)
-                })?;
+                slot.get_or_create().apply_eit_answer(attr, ordinal, *answer, config)?;
                 Ok(true)
             }
             EventKind::EitSkipped { .. } => Ok(false),

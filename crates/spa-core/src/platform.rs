@@ -53,6 +53,97 @@ impl Default for SpaConfig {
     }
 }
 
+/// Reusable batch-ingest buffers: events in arrival order (the order a
+/// write-ahead log must frame them in) plus per-registry-shard index
+/// buckets, so the apply phase takes each registry shard's write lock
+/// **once per bucket** instead of once per event — the lock-light half
+/// of the batched write path. Bucketing is a modulo, not a hash, and
+/// per-user event order is preserved inside each bucket (users live in
+/// exactly one bucket). Cross-user apply order differs from arrival
+/// order, which is bit-identically irrelevant: every per-event
+/// mutation touches only that event's user, and the only cross-user
+/// state is commutative counters (the invariant
+/// `tests/shard_equivalence.rs` pins, re-pinned for this path by
+/// `tests/ingest_fastpath.rs`).
+///
+/// All buffers retain capacity across batches — steady-state batch
+/// ingest allocates nothing for routing or grouping — but an outsized
+/// batch (a bulk backfill) does not pin its peak footprint forever:
+/// [`GroupScratch::recycle`] drops the buffers once they exceed
+/// [`SCRATCH_RETAIN_EVENTS`].
+#[derive(Default)]
+pub(crate) struct GroupScratch {
+    /// Events in arrival order (owned copies — a reusable buffer
+    /// cannot hold caller-lifetime borrows).
+    events: Vec<LifeLogEvent>,
+    /// Event indices per registry shard, in arrival order.
+    buckets: Vec<Vec<u32>>,
+    /// WAL frames for the buffered events, in arrival order — encoded
+    /// during routing ([`GroupScratch::push_framed`]) while each event
+    /// is still hot in cache, and handed to the log as one pre-encoded
+    /// run ([`spa_store::EventLog::append_encoded`]): the log phase
+    /// never walks the events again.
+    frames: bytes::BytesMut,
+}
+
+impl GroupScratch {
+    pub(crate) fn clear(&mut self) {
+        self.events.clear();
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.frames.clear();
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Buffers one event into its registry-shard bucket.
+    #[inline]
+    pub(crate) fn push(&mut self, event: &LifeLogEvent) {
+        if self.buckets.is_empty() {
+            self.buckets.resize_with(crate::sum::SumRegistry::shard_count_static(), Vec::new);
+        }
+        let index = self.events.len() as u32;
+        self.buckets[crate::sum::SumRegistry::shard_index_of(event.user)].push(index);
+        self.events.push(event.clone());
+    }
+
+    /// [`GroupScratch::push`] plus WAL framing into the scratch's
+    /// frame buffer — the durable-ingest routing pass.
+    #[inline]
+    pub(crate) fn push_framed(&mut self, event: &LifeLogEvent) {
+        self.push(event);
+        spa_store::codec::encode_frame(event, &mut self.frames);
+    }
+
+    /// The pre-encoded WAL frames (arrival order), when the batch was
+    /// routed with [`GroupScratch::push_framed`].
+    pub(crate) fn frames(&self) -> &[u8] {
+        &self.frames
+    }
+
+    /// Empties the scratch for storage between batches: contents are
+    /// dropped (no stale event copies linger), and capacity is kept
+    /// only while it stays under [`SCRATCH_RETAIN_EVENTS`] — one
+    /// outsized backfill batch must not pin its peak footprint for the
+    /// platform's lifetime.
+    pub(crate) fn recycle(&mut self) {
+        if self.events.capacity() > SCRATCH_RETAIN_EVENTS {
+            *self = GroupScratch::default();
+        } else {
+            self.clear();
+        }
+    }
+}
+
+/// Batch-ingest scratch capacity kept across batches (events; the
+/// index buckets and frame buffer scale with it). 256k events ≈ 8 MiB
+/// of event copies — comfortably above any steady-state batch, far
+/// below a bulk backfill's peak.
+const SCRATCH_RETAIN_EVENTS: usize = 1 << 18;
+
 /// The assembled Smart Prediction Assistant.
 pub struct Spa {
     schema: AttributeSchema,
@@ -66,6 +157,8 @@ pub struct Spa {
     advice_factors: AdviceFactors,
     /// Dense advice rows keyed by the per-model update counter.
     advice_cache: AdviceCache,
+    /// Batch-ingest buffers reused across [`Spa::ingest_batch`] calls.
+    ingest_scratch: parking_lot::Mutex<GroupScratch>,
 }
 
 impl Spa {
@@ -93,6 +186,7 @@ impl Spa {
             selection,
             advice_factors,
             advice_cache,
+            ingest_scratch: parking_lot::Mutex::new(GroupScratch::default()),
         }
     }
 
@@ -143,17 +237,71 @@ impl Spa {
         self.preprocessor.ingest(&self.registry, &self.eit, event)
     }
 
-    /// Ingests a batch, returning how many events were processed.
+    /// Ingests a batch, returning how many events were applied.
+    ///
+    /// Each event lands independently: one the platform rejects (e.g.
+    /// an `EitAnswer` naming a question outside the bank) is skipped —
+    /// excluded from the returned count — and the rest of the batch
+    /// still applies. These are the same skip-and-count semantics as
+    /// [`crate::shard::ShardedSpa::ingest_batch`] and WAL replay
+    /// ([`crate::shard::ShardedSpa::recover`]), so a stream batched
+    /// through either platform (or replayed from its log) produces
+    /// identical state; the earlier abort-on-first-rejection behavior
+    /// made the single-platform batch diverge from all three.
+    /// (Implementation: events are buffered in reusable scratch and
+    /// applied grouped by user — one registry lock acquisition per
+    /// user-run instead of per event — which is bit-identical to the
+    /// per-event loop because every mutation is user-local; see
+    /// [`GroupScratch`].)
     pub fn ingest_batch<'a>(
         &self,
         events: impl IntoIterator<Item = &'a LifeLogEvent>,
     ) -> Result<usize> {
-        let mut n = 0;
+        // swap the scratch out (a concurrent batch builds its own)
+        let mut scratch = std::mem::take(&mut *self.ingest_scratch.lock());
+        scratch.clear();
         for event in events {
-            self.ingest(event)?;
-            n += 1;
+            scratch.push(event);
         }
-        Ok(n)
+        let applied = self.apply_grouped(&scratch);
+        scratch.recycle();
+        *self.ingest_scratch.lock() = scratch;
+        Ok(applied)
+    }
+
+    /// Applies a buffered batch user-run by user-run, returning how
+    /// many events were applied (rejected events are skipped and
+    /// uncounted — the shared skip-and-count semantics). The hook the
+    /// sharded platform's per-shard pipeline calls after write-ahead
+    /// logging the same buffer in arrival order.
+    pub(crate) fn apply_grouped(&self, scratch: &GroupScratch) -> usize {
+        let mut applied = 0usize;
+        // counters accumulate locally and fold in once per batch — six
+        // atomic adds per batch, zero per event
+        let mut stats = PreprocessorStats::default();
+        // appeal map read once per batch, before any registry lock (the
+        // one lock order, see LifeLogPreprocessor::apply)
+        let appeal = self.preprocessor.appeal_read();
+        for (shard, bucket) in scratch.buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            self.registry.with_shard_models(shard, |models, config| {
+                for &index in bucket {
+                    let event = &scratch.events[index as usize];
+                    let mut slot = models.slot(event.user);
+                    let outcome = self
+                        .preprocessor
+                        .apply(&mut slot, config, &self.eit, &appeal, event, &mut stats);
+                    if outcome.is_ok() {
+                        applied += 1;
+                    }
+                }
+            });
+        }
+        drop(appeal);
+        self.preprocessor.merge_stats(&stats);
+        applied
     }
 
     /// Pre-processing counters.

@@ -16,13 +16,14 @@
 //!   by the campaign engine at close-out (update stage, Fig 4).
 
 use crate::eit::EitEngine;
+use crate::fastmap::FastIdMap;
 use crate::sum::SumRegistry;
 use parking_lot::RwLock;
 use spa_synth::catalog::CourseCatalog;
 use spa_types::{
     AttributeId, AttributeSchema, CampaignId, EventKind, LifeLogEvent, Result, UserId,
 };
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters of what the pre-processor has seen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,14 +54,83 @@ impl std::ops::AddAssign for PreprocessorStats {
     }
 }
 
+/// The pre-processor's live counters: one atomic cell per field, so
+/// concurrent ingest bumps its counter with a single uncontended
+/// `fetch_add` instead of serializing every event through a global
+/// `RwLock<PreprocessorStats>` write. Counters are independent
+/// commutative sums, so per-field relaxed atomics read back exactly the
+/// aggregates the locked struct held — [`StatsCells::snapshot`] is the
+/// same value `stats()` always reported for a quiesced stream.
+#[derive(Debug, Default)]
+struct StatsCells {
+    actions: AtomicU64,
+    transactions: AtomicU64,
+    eit_answers: AtomicU64,
+    eit_skips: AtomicU64,
+    deliveries: AtomicU64,
+    opens: AtomicU64,
+}
+
+impl StatsCells {
+    /// Folds a batch's locally accumulated counters in — six atomic
+    /// adds per *batch*, not per event.
+    fn merge(&self, delta: &PreprocessorStats) {
+        for (cell, count) in [
+            (&self.actions, delta.actions),
+            (&self.transactions, delta.transactions),
+            (&self.eit_answers, delta.eit_answers),
+            (&self.eit_skips, delta.eit_skips),
+            (&self.deliveries, delta.deliveries),
+            (&self.opens, delta.opens),
+        ] {
+            if count > 0 {
+                cell.fetch_add(count, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> PreprocessorStats {
+        PreprocessorStats {
+            actions: self.actions.load(Ordering::Relaxed),
+            transactions: self.transactions.load(Ordering::Relaxed),
+            eit_answers: self.eit_answers.load(Ordering::Relaxed),
+            eit_skips: self.eit_skips.load(Ordering::Relaxed),
+            deliveries: self.deliveries.load(Ordering::Relaxed),
+            opens: self.opens.load(Ordering::Relaxed),
+        }
+    }
+
+    fn restore(&self, stats: PreprocessorStats) {
+        self.actions.store(stats.actions, Ordering::Relaxed);
+        self.transactions.store(stats.transactions, Ordering::Relaxed);
+        self.eit_answers.store(stats.eit_answers, Ordering::Relaxed);
+        self.eit_skips.store(stats.eit_skips, Ordering::Relaxed);
+        self.deliveries.store(stats.deliveries, Ordering::Relaxed);
+        self.opens.store(stats.opens, Ordering::Relaxed);
+    }
+}
+
+/// Sentinel in [`LifeLogPreprocessor::course_attr`] for course ids the
+/// catalog does not know.
+const NO_COURSE_ATTR: u32 = u32::MAX;
+
+/// Campaign → appealed attribute ids (see
+/// [`LifeLogPreprocessor::register_campaign`]).
+pub(crate) type AppealMap = FastIdMap<Vec<AttributeId>>;
+
 /// Distills raw LifeLog events into Smart User Model updates.
 pub struct LifeLogPreprocessor {
     schema: AttributeSchema,
-    /// Course → topic mapping, for topic-affinity attributes.
-    course_topic: HashMap<u32, usize>,
+    /// Course id → fully resolved topic-affinity [`AttributeId`] (raw),
+    /// `NO_COURSE_ATTR` for gaps: the topic → subjective-slot folding
+    /// is done once at bring-up, so the per-event lookup is one dense
+    /// index — no hash, no modulo. Catalog ids are dense, so the table
+    /// stays small; ids past its end (or in gaps) resolve to no
+    /// attribute, exactly as an unknown course always has.
+    course_attr: Vec<u32>,
     /// Campaign → emotional attribute ids its message appealed to.
-    campaign_appeal: RwLock<HashMap<u32, Vec<AttributeId>>>,
-    stats: RwLock<PreprocessorStats>,
+    campaign_appeal: RwLock<FastIdMap<Vec<AttributeId>>>,
+    stats: StatsCells,
 }
 
 /// Subjective slot used for the general activity index.
@@ -73,12 +143,21 @@ const TOPIC_SLOT0: usize = 2;
 impl LifeLogPreprocessor {
     /// Creates a pre-processor for a schema and course catalog.
     pub fn new(schema: AttributeSchema, courses: &CourseCatalog) -> Self {
-        let course_topic = courses.courses().map(|c| (c.id.raw(), c.topic)).collect();
+        let slots = 25usize.saturating_sub(TOPIC_SLOT0).max(1);
+        let mut course_attr = Vec::new();
+        for course in courses.courses() {
+            let index = course.id.raw() as usize;
+            if course_attr.len() <= index {
+                course_attr.resize(index + 1, NO_COURSE_ATTR);
+            }
+            course_attr[index] =
+                Self::subjective_attr_for(TOPIC_SLOT0 + course.topic % slots).raw();
+        }
         Self {
             schema,
-            course_topic,
-            campaign_appeal: RwLock::new(HashMap::new()),
-            stats: RwLock::new(PreprocessorStats::default()),
+            course_attr,
+            campaign_appeal: RwLock::new(FastIdMap::default()),
+            stats: StatsCells::default(),
         }
     }
 
@@ -90,17 +169,17 @@ impl LifeLogPreprocessor {
 
     /// Counters so far.
     pub fn stats(&self) -> PreprocessorStats {
-        *self.stats.read()
+        self.stats.snapshot()
     }
 
     /// Overwrites the counters — used when restoring a platform from a
     /// snapshot, so post-recovery stats continue from the checkpointed
     /// values instead of restarting at zero.
     pub fn restore_stats(&self, stats: PreprocessorStats) {
-        *self.stats.write() = stats;
+        self.stats.restore(stats);
     }
 
-    fn subjective_attr(&self, slot: usize) -> AttributeId {
+    fn subjective_attr_for(slot: usize) -> AttributeId {
         // subjective block starts after the 40 objective attributes
         AttributeId::new((40 + slot.min(24)) as u32)
     }
@@ -113,46 +192,142 @@ impl LifeLogPreprocessor {
         eit: &EitEngine,
         event: &LifeLogEvent,
     ) -> Result<()> {
+        // events that cannot touch a model complete without the
+        // registry shard lock (which the old per-event path never took
+        // for them either): deliveries and skips only count, and an
+        // answer naming a question outside the bank is rejected before
+        // any lock — the same loud error `apply` would produce.
+        match &event.kind {
+            EventKind::MessageDelivered { .. } => {
+                self.stats.deliveries.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            EventKind::EitSkipped { .. } => {
+                self.stats.eit_skips.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            EventKind::EitAnswer { question, .. } if eit.bank().question(*question).is_none() => {
+                return Err(spa_types::SpaError::NotFound(format!("question {question}")));
+            }
+            _ => {}
+        }
+        let mut delta = PreprocessorStats::default();
+        // the appeal map is only consulted for campaign-bearing events;
+        // when it is, it is read *before* the registry shard lock (the
+        // one lock order, see LifeLogPreprocessor::apply)
+        let needs_appeal = matches!(
+            event.kind,
+            EventKind::Transaction { campaign: Some(_), .. } | EventKind::MessageOpened { .. }
+        );
+        let outcome = if needs_appeal {
+            let appeal = self.campaign_appeal.read();
+            // an open of an unregistered campaign only counts — no
+            // model, no registry lock
+            if let EventKind::MessageOpened { campaign } = &event.kind {
+                if !appeal.contains_key(&campaign.raw()) {
+                    drop(appeal);
+                    self.stats.opens.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+            }
+            registry.with_model_slot(event.user, |slot, config| {
+                self.apply(slot, config, eit, &appeal, event, &mut delta)
+            })
+        } else {
+            registry.with_model_slot(event.user, |slot, config| {
+                self.apply(slot, config, eit, Self::empty_appeal(), event, &mut delta)
+            })
+        };
+        self.stats.merge(&delta);
+        outcome
+    }
+
+    /// Shared empty appeal map for events that cannot consult it.
+    fn empty_appeal() -> &'static AppealMap {
+        static EMPTY: std::sync::OnceLock<AppealMap> = std::sync::OnceLock::new();
+        EMPTY.get_or_init(AppealMap::default)
+    }
+
+    /// Folds a batch's locally accumulated counters into the live
+    /// stats (used by the platforms' grouped batch apply, which counts
+    /// into a plain local struct while it holds registry locks).
+    pub(crate) fn merge_stats(&self, delta: &PreprocessorStats) {
+        self.stats.merge(delta);
+    }
+
+    /// Read guard over the campaign-appeal map, acquired **once per
+    /// batch** by the grouped apply path (and before any registry shard
+    /// lock — the one lock order).
+    pub(crate) fn appeal_read(&self) -> parking_lot::RwLockReadGuard<'_, AppealMap> {
+        self.campaign_appeal.read()
+    }
+
+    /// The one per-event distillation, against an already-locked model
+    /// slot: [`LifeLogPreprocessor::ingest`] wraps it for a single
+    /// event, and the platforms' batched ingest calls it for a whole
+    /// run of one user's events under a single lock acquisition
+    /// ([`crate::platform::Spa::ingest_batch`]). Events that touch no
+    /// per-user state (deliveries, rejected EIT answers, opens of
+    /// unregistered campaigns) never materialize a model — the slot
+    /// stays untouched.
+    ///
+    /// Lock order: every caller acquires the campaign-appeal read
+    /// guard (when the event can consult it) **before** the slot's
+    /// registry shard lock — [`LifeLogPreprocessor::ingest`],
+    /// [`LifeLogPreprocessor::punish_ignored`] and the platforms'
+    /// grouped apply all do — and registration takes the appeal lock
+    /// alone. One consistent order (appeal → registry), no cycle;
+    /// never acquire the appeal lock while holding a registry shard
+    /// lock.
+    pub(crate) fn apply(
+        &self,
+        slot: &mut crate::sum::ModelSlot,
+        config: &crate::sum::SumConfig,
+        eit: &EitEngine,
+        appeal: &AppealMap,
+        event: &LifeLogEvent,
+        stats: &mut PreprocessorStats,
+    ) -> Result<()> {
         match &event.kind {
             EventKind::Action { course, .. } => {
-                self.stats.write().actions += 1;
-                self.touch_usage(registry, event.user, course.map(|c| c.raw()), false);
+                stats.actions += 1;
+                self.touch_usage(slot, config, course.map(|c| c.raw()), false);
                 Ok(())
             }
             EventKind::Transaction { course, campaign } => {
-                self.stats.write().transactions += 1;
-                self.touch_usage(registry, event.user, Some(course.raw()), true);
+                stats.transactions += 1;
+                self.touch_usage(slot, config, Some(course.raw()), true);
                 if let Some(campaign) = campaign {
-                    self.reward_campaign(registry, event.user, *campaign);
+                    Self::reward_campaign(slot, config, appeal, *campaign);
                 }
                 Ok(())
             }
             EventKind::Rating { course, stars } => {
                 // explicit feedback: treat ≥4 stars as a transactional
                 // signal for the course's topic
-                self.stats.write().actions += 1;
-                self.touch_usage(registry, event.user, Some(course.raw()), *stars >= 4);
+                stats.actions += 1;
+                self.touch_usage(slot, config, Some(course.raw()), *stars >= 4);
                 Ok(())
             }
             EventKind::EitAnswer { .. } => {
-                let incorporated = eit.ingest(registry, &self.schema, event)?;
+                let incorporated = eit.apply(slot, &self.schema, config, event)?;
                 if incorporated {
-                    self.stats.write().eit_answers += 1;
+                    stats.eit_answers += 1;
                 }
                 Ok(())
             }
             EventKind::EitSkipped { .. } => {
-                eit.ingest(registry, &self.schema, event)?;
-                self.stats.write().eit_skips += 1;
+                eit.apply(slot, &self.schema, config, event)?;
+                stats.eit_skips += 1;
                 Ok(())
             }
             EventKind::MessageDelivered { .. } => {
-                self.stats.write().deliveries += 1;
+                stats.deliveries += 1;
                 Ok(())
             }
             EventKind::MessageOpened { campaign } => {
-                self.stats.write().opens += 1;
-                self.reward_campaign(registry, event.user, *campaign);
+                stats.opens += 1;
+                Self::reward_campaign(slot, config, appeal, *campaign);
                 Ok(())
             }
         }
@@ -160,47 +335,57 @@ impl LifeLogPreprocessor {
 
     fn touch_usage(
         &self,
-        registry: &SumRegistry,
-        user: UserId,
+        slot: &mut crate::sum::ModelSlot,
+        config: &crate::sum::SumConfig,
         course: Option<u32>,
         transactional: bool,
     ) {
-        let activity = self.subjective_attr(ACTIVITY_SLOT);
-        let transact = self.subjective_attr(TRANSACT_SLOT);
-        let topic_attr = course.and_then(|c| self.course_topic.get(&c)).map(|&t| {
-            let slots = 25usize.saturating_sub(TOPIC_SLOT0).max(1);
-            self.subjective_attr(TOPIC_SLOT0 + t % slots)
-        });
-        registry.with_model(user, |model, config| {
-            // every action nudges the activity index up
-            model.observe_subjective(activity, 1.0, config).expect("slot in range");
-            if transactional {
-                model.observe_subjective(transact, 1.0, config).expect("slot in range");
-            }
-            if let Some(attr) = topic_attr {
-                model.observe_subjective(attr, 1.0, config).expect("slot in range");
-            }
-        });
+        let activity = Self::subjective_attr_for(ACTIVITY_SLOT);
+        let transact = Self::subjective_attr_for(TRANSACT_SLOT);
+        let topic_attr = course
+            .and_then(|c| self.course_attr.get(c as usize))
+            .filter(|&&raw| raw != NO_COURSE_ATTR)
+            .map(|&raw| AttributeId::new(raw));
+        let model = slot.get_or_create();
+        // every action nudges the activity index up
+        model.observe_subjective(activity, 1.0, config).expect("slot in range");
+        if transactional {
+            model.observe_subjective(transact, 1.0, config).expect("slot in range");
+        }
+        if let Some(attr) = topic_attr {
+            model.observe_subjective(attr, 1.0, config).expect("slot in range");
+        }
     }
 
-    fn reward_campaign(&self, registry: &SumRegistry, user: UserId, campaign: CampaignId) {
-        let appeal = self.campaign_appeal.read().get(&campaign.raw()).cloned();
-        if let Some(attrs) = appeal {
-            registry.with_model(user, |model, config| {
-                model.reward(&attrs, config).expect("campaign attrs validated at registration");
-            });
+    fn reward_campaign(
+        slot: &mut crate::sum::ModelSlot,
+        config: &crate::sum::SumConfig,
+        appeal: &AppealMap,
+        campaign: CampaignId,
+    ) {
+        // the appeal list is borrowed straight out of the map the
+        // caller holds a read guard over — no per-event Vec clone, and
+        // batched callers pay the guard once per batch, not per event.
+        // Registration takes the write side only at campaign bring-up,
+        // so ingest never waits on it in steady state.
+        if let Some(attrs) = appeal.get(&campaign.raw()) {
+            slot.get_or_create()
+                .reward(attrs, config)
+                .expect("campaign attrs validated at registration");
         }
     }
 
     /// Punishes the attributes a campaign appealed to for a user who
     /// ignored its message (called by the campaign engine at close-out).
     pub fn punish_ignored(&self, registry: &SumRegistry, user: UserId, campaign: CampaignId) {
-        let appeal = self.campaign_appeal.read().get(&campaign.raw()).cloned();
-        if let Some(attrs) = appeal {
-            registry.with_model(user, |model, config| {
-                model.punish(&attrs, config).expect("campaign attrs validated at registration");
-            });
-        }
+        let appeal = self.campaign_appeal.read();
+        registry.with_model_slot(user, |slot, config| {
+            if let Some(attrs) = appeal.get(&campaign.raw()) {
+                slot.get_or_create()
+                    .punish(attrs, config)
+                    .expect("campaign attrs validated at registration");
+            }
+        });
     }
 }
 

@@ -168,12 +168,38 @@ pub struct CompactionReport {
     pub snapshots_pruned: usize,
 }
 
+/// Reusable routing buffers for [`ShardedSpa::ingest_batch`]: one
+/// owned per-shard event buffer (with its user-run grouping built
+/// during routing — [`crate::platform::GroupScratch`]), swapped out of
+/// the platform for the duration of a batch and swapped back (capacity
+/// intact) when it completes. Steady-state batch ingest therefore
+/// routes and groups with **zero allocations** — a concurrent second
+/// batch simply starts from an empty scratch and allocates its own
+/// buffers once.
+#[derive(Default)]
+struct RoutingScratch {
+    by_shard: Vec<crate::platform::GroupScratch>,
+}
+
+impl RoutingScratch {
+    /// Clears every per-shard buffer (keeping capacity) and sizes the
+    /// scratch for `shards` buffers.
+    fn reset(&mut self, shards: usize) {
+        self.by_shard.resize_with(shards, Default::default);
+        for batch in &mut self.by_shard {
+            batch.clear();
+        }
+    }
+}
+
 /// N independent [`Spa`] shards behind one facade, with optional
 /// write-ahead durability through a per-shard [`ShardedEventLog`].
 pub struct ShardedSpa {
     shards: Vec<Spa>,
     selection: SelectionFunction,
     log: Option<ShardedEventLog>,
+    /// Routing scratch reused across [`ShardedSpa::ingest_batch`] calls.
+    routing: Mutex<RoutingScratch>,
     /// Per-shard write-pause latches. Every state-mutating entry point
     /// takes its shard's latch **shared**; [`ShardedSpa::checkpoint`]
     /// takes it **exclusive** while serializing that shard, so the
@@ -199,7 +225,14 @@ impl ShardedSpa {
         let selection = SelectionFunction::with_imbalance(schema.len(), config.positive_weight);
         let pauses = (0..shards).map(|_| RwLock::new(())).collect();
         let shards = (0..shards).map(|_| Spa::new(courses, config.clone())).collect();
-        Ok(Self { shards, selection, log: None, pauses, maintenance: Mutex::new(()) })
+        Ok(Self {
+            shards,
+            selection,
+            log: None,
+            routing: Mutex::new(RoutingScratch::default()),
+            pauses,
+            maintenance: Mutex::new(()),
+        })
     }
 
     /// Builds a sharded platform whose ingest is write-ahead logged to
@@ -383,6 +416,7 @@ impl ShardedSpa {
             shards: Vec::with_capacity(shards),
             selection: SelectionFunction::with_imbalance(schema.len(), config.positive_weight),
             log: None,
+            routing: Mutex::new(RoutingScratch::default()),
             pauses: (0..shards).map(|_| RwLock::new(())).collect(),
             maintenance: Mutex::new(()),
         };
@@ -582,9 +616,20 @@ impl ShardedSpa {
     }
 
     /// Ingests a batch: events are routed to their shards (preserving
-    /// per-shard arrival order), write-ahead logged per shard, then
-    /// applied — fanned out across threads under the `parallel`
-    /// feature. Returns how many events were applied.
+    /// per-shard arrival order), then each involved shard runs its
+    /// whole *log sub-batch → apply sub-batch* pipeline as one
+    /// fanned-out unit (across threads under the `parallel` feature) —
+    /// no global barrier between the log phase and the apply phase, so
+    /// one slow shard's disk write never stalls another shard's
+    /// in-memory apply. Per-shard WAL-before-apply ordering (the
+    /// invariant recovery equivalence depends on) is untouched: within
+    /// a shard, the sub-batch is durably buffered before any of it
+    /// mutates state, under that shard's write-pause latch so a
+    /// concurrent [`ShardedSpa::checkpoint`] never lands between the
+    /// two. Routing buffers are reused across calls
+    /// ([`RoutingScratch`]) — steady-state batch ingest allocates
+    /// nothing on the routing path. Returns how many events were
+    /// applied.
     ///
     /// Each event is applied independently: one the platform rejects
     /// (e.g. an `EitAnswer` naming a question outside the bank) is
@@ -596,42 +641,72 @@ impl ShardedSpa {
     /// replay but not live. Errors surface only from the write-ahead
     /// log itself (I/O).
     ///
-    /// A WAL I/O error is returned before anything is applied in
-    /// memory, but some shards' sub-batches may already be durably
-    /// logged. Treat it as fatal: rebuild through
-    /// [`ShardedSpa::recover`] (which applies the logged prefix) rather
-    /// than retrying the batch — a retry would log those events twice
-    /// and every future replay would double-count them.
+    /// On a WAL I/O error the lowest-indexed failing shard's error is
+    /// returned; because shards pipeline independently, other shards
+    /// may already have logged **and applied** their sub-batches, and
+    /// the failing shard's own log is poisoned with a possibly-torn
+    /// tail. Treat the error as fatal, exactly as the per-event
+    /// contract on [`ShardedSpa::ingest`] already demands: rebuild
+    /// through [`ShardedSpa::recover`] (which replays the durably
+    /// logged prefix and truncates the tear) rather than retrying the
+    /// batch — a retry would log the surviving shards' events twice and
+    /// every future replay would double-count them.
     pub fn ingest_batch<'a>(
         &self,
         events: impl IntoIterator<Item = &'a LifeLogEvent>,
     ) -> Result<usize> {
-        let mut by_shard: Vec<Vec<&LifeLogEvent>> = vec![Vec::new(); self.shards.len()];
-        for event in events {
-            by_shard[shard_index(event.user, self.shards.len())].push(event);
-        }
-        // hold every involved shard's pause latch (shared, acquired in
-        // index order) across both the log phase and the apply phase: a
-        // checkpoint must never land between a sub-batch's append and
-        // its apply. Readers never block each other, and the write
-        // latch is only taken one shard at a time, so there is no lock-
-        // order cycle.
-        let _pauses: Vec<_> = by_shard
-            .iter()
-            .enumerate()
-            .filter(|(_, batch)| !batch.is_empty())
-            .map(|(index, _)| self.pauses[index].read())
-            .collect();
-        for (index, batch) in by_shard.iter().enumerate() {
-            if let (Some(log), false) = (&self.log, batch.is_empty()) {
-                log.append_batch(ShardId::new(index as u32), batch.iter().copied())?;
+        // swap the routing scratch out of the platform (a concurrent
+        // batch finds an empty default and builds its own buffers)
+        let mut scratch = std::mem::take(&mut *self.routing.lock());
+        scratch.reset(self.shards.len());
+        // durable platforms frame each event during routing, while it
+        // is hot in cache — the log phase writes the pre-encoded run
+        // without ever walking the events again
+        if self.log.is_some() {
+            for event in events {
+                scratch.by_shard[shard_index(event.user, self.shards.len())].push_framed(event);
+            }
+        } else {
+            for event in events {
+                scratch.by_shard[shard_index(event.user, self.shards.len())].push(event);
             }
         }
-        let apply = |index: usize| -> usize {
-            by_shard[index].iter().filter(|event| self.shards[index].ingest(event).is_ok()).count()
+        let run_shard = |index: usize| -> Result<usize> {
+            let batch = &scratch.by_shard[index];
+            if batch.is_empty() {
+                return Ok(0);
+            }
+            // the shard's pause latch (shared) covers log + apply, so a
+            // checkpoint never snapshots between them; only this one
+            // shard pauses, never the platform
+            let _pause = self.pauses[index].read();
+            if let Some(log) = &self.log {
+                // frames are in arrival order — the byte stream is
+                // pinned; only the in-memory apply below is grouped
+                log.append_encoded(ShardId::new(index as u32), batch.frames())?;
+            }
+            Ok(self.shards[index].apply_grouped(batch))
         };
-        let counts: Vec<usize> = fan_out(self.shards.len(), true, apply);
-        Ok(counts.into_iter().sum())
+        let outcomes: Vec<Result<usize>> = fan_out(self.shards.len(), true, run_shard);
+        let mut applied = 0usize;
+        let mut first_error = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(count) => applied += count,
+                Err(e) if first_error.is_none() => first_error = Some(e),
+                Err(_) => {}
+            }
+        }
+        // hand the buffers back for the next batch to reuse (dropping
+        // them instead when an outsized batch inflated them)
+        for batch in &mut scratch.by_shard {
+            batch.recycle();
+        }
+        *self.routing.lock() = scratch;
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(applied),
+        }
     }
 
     /// Flushes every shard's log to the OS (and disk when `fsync`).

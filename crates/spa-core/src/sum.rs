@@ -104,10 +104,15 @@ impl Default for SumConfig {
 pub struct SmartUserModel {
     /// Owner.
     pub user: UserId,
-    /// Attribute estimates in `[0, 1]`, indexed by `AttributeId`.
-    values: Vec<f64>,
-    /// Per-attribute relevance (confidence × importance) in `[0, 1]`.
-    relevance: Vec<f64>,
+    /// Per-attribute `[estimate, relevance]` pairs, interleaved:
+    /// `cells[2i]` is attribute `i`'s estimate in `[0, 1]`,
+    /// `cells[2i + 1]` its relevance (confidence × importance). Every
+    /// update rule touches both halves of one pair, so interleaving
+    /// keeps each update on a single cache line — and a model is one
+    /// allocation, which is what makes first-touch ingest cheap at
+    /// population scale. External codecs still speak in separate
+    /// value/relevance streams; only this in-memory layout changed.
+    cells: Vec<f64>,
     /// Per-emotional-attribute count of EIT answers incorporated.
     eit_answers: [u32; 10],
     /// Total update events applied.
@@ -117,28 +122,22 @@ pub struct SmartUserModel {
 impl SmartUserModel {
     /// Fresh, empty model for a 75-attribute schema (or any `dim`).
     pub fn new(user: UserId, dim: usize) -> Self {
-        Self {
-            user,
-            values: vec![0.0; dim],
-            relevance: vec![0.0; dim],
-            eit_answers: [0; 10],
-            updates: 0,
-        }
+        Self { user, cells: vec![0.0; 2 * dim], eit_answers: [0; 10], updates: 0 }
     }
 
     /// Attribute dimensionality.
     pub fn dim(&self) -> usize {
-        self.values.len()
+        self.cells.len() / 2
     }
 
     /// Current estimate for an attribute.
     pub fn value(&self, attr: AttributeId) -> f64 {
-        self.values.get(attr.index()).copied().unwrap_or(0.0)
+        self.cells.get(2 * attr.index()).copied().unwrap_or(0.0)
     }
 
     /// Current relevance weight for an attribute.
     pub fn relevance(&self, attr: AttributeId) -> f64 {
-        self.relevance.get(attr.index()).copied().unwrap_or(0.0)
+        self.cells.get(2 * attr.index() + 1).copied().unwrap_or(0.0)
     }
 
     /// Number of updates applied so far.
@@ -152,10 +151,10 @@ impl SmartUserModel {
     }
 
     fn check(&self, attr: AttributeId) -> Result<()> {
-        if attr.index() >= self.values.len() {
+        if attr.index() >= self.dim() {
             return Err(SpaError::DimensionMismatch {
                 got: attr.index() + 1,
-                expected: self.values.len(),
+                expected: self.dim(),
             });
         }
         Ok(())
@@ -165,8 +164,9 @@ impl SmartUserModel {
     /// relevance, exact value.
     pub fn set_observed(&mut self, attr: AttributeId, value: f64) -> Result<()> {
         self.check(attr)?;
-        self.values[attr.index()] = value.clamp(0.0, 1.0);
-        self.relevance[attr.index()] = 1.0;
+        let i = 2 * attr.index();
+        self.cells[i] = value.clamp(0.0, 1.0);
+        self.cells[i + 1] = 1.0;
         self.updates += 1;
         Ok(())
     }
@@ -180,14 +180,14 @@ impl SmartUserModel {
         config: &SumConfig,
     ) -> Result<()> {
         self.check(attr)?;
-        let i = attr.index();
+        let i = 2 * attr.index();
         let blend = 0.3;
-        self.values[i] = if self.relevance[i] == 0.0 {
+        self.cells[i] = if self.cells[i + 1] == 0.0 {
             value.clamp(0.0, 1.0)
         } else {
-            (1.0 - blend) * self.values[i] + blend * value.clamp(0.0, 1.0)
+            (1.0 - blend) * self.cells[i] + blend * value.clamp(0.0, 1.0)
         };
-        self.relevance[i] = (self.relevance[i] + config.relevance_gain).min(1.0);
+        self.cells[i + 1] = (self.cells[i + 1] + config.relevance_gain).min(1.0);
         self.updates += 1;
         Ok(())
     }
@@ -211,13 +211,13 @@ impl SmartUserModel {
             return Err(SpaError::Invalid(format!("emotional ordinal {emo_ordinal} out of range")));
         }
         let sensed = (answer.value() + 1.0) / 2.0;
-        let i = attr.index();
-        self.values[i] = if self.eit_answers[emo_ordinal] == 0 {
+        let i = 2 * attr.index();
+        self.cells[i] = if self.eit_answers[emo_ordinal] == 0 {
             sensed
         } else {
-            (1.0 - config.eit_blend) * self.values[i] + config.eit_blend * sensed
+            (1.0 - config.eit_blend) * self.cells[i] + config.eit_blend * sensed
         };
-        self.relevance[i] = (self.relevance[i] + config.relevance_gain).min(1.0);
+        self.cells[i + 1] = (self.cells[i + 1] + config.relevance_gain).min(1.0);
         self.eit_answers[emo_ordinal] += 1;
         self.updates += 1;
         Ok(())
@@ -228,9 +228,9 @@ impl SmartUserModel {
     pub fn reward(&mut self, attrs: &[AttributeId], config: &SumConfig) -> Result<()> {
         for &attr in attrs {
             self.check(attr)?;
-            let i = attr.index();
-            self.values[i] += (1.0 - self.values[i]) * config.reward_rate;
-            self.relevance[i] = (self.relevance[i] + config.relevance_gain / 2.0).min(1.0);
+            let i = 2 * attr.index();
+            self.cells[i] += (1.0 - self.cells[i]) * config.reward_rate;
+            self.cells[i + 1] = (self.cells[i + 1] + config.relevance_gain / 2.0).min(1.0);
         }
         self.updates += 1;
         Ok(())
@@ -241,8 +241,8 @@ impl SmartUserModel {
     pub fn punish(&mut self, attrs: &[AttributeId], config: &SumConfig) -> Result<()> {
         for &attr in attrs {
             self.check(attr)?;
-            let i = attr.index();
-            self.values[i] -= self.values[i] * config.punish_rate;
+            let i = 2 * attr.index();
+            self.cells[i] -= self.cells[i] * config.punish_rate;
         }
         self.updates += 1;
         Ok(())
@@ -254,13 +254,12 @@ impl SmartUserModel {
     /// zero still registers as present.
     pub fn feature_row(&self) -> SparseVec {
         let pairs = self
-            .values
-            .iter()
-            .zip(self.relevance.iter())
+            .cells
+            .chunks_exact(2)
             .enumerate()
-            .filter(|&(_, (_, &r))| r > 0.0)
-            .map(|(i, (&v, _))| (i as u32, v.max(1e-9)));
-        SparseVec::from_pairs(self.values.len(), pairs).expect("indices are in range")
+            .filter(|&(_, pair)| pair[1] > 0.0)
+            .map(|(i, pair)| (i as u32, pair[0].max(1e-9)));
+        SparseVec::from_pairs(self.dim(), pairs).expect("indices are in range")
     }
 
     /// **Advice stage** — the activated/inhibited feature row handed to
@@ -269,19 +268,12 @@ impl SmartUserModel {
     /// amplified and aversion-valenced ones damped, in proportion to
     /// how well-established they are.
     pub fn advice_row(&self, schema: &AttributeSchema) -> Result<SparseVec> {
-        if schema.len() != self.values.len() {
-            return Err(SpaError::DimensionMismatch {
-                got: schema.len(),
-                expected: self.values.len(),
-            });
+        if schema.len() != self.dim() {
+            return Err(SpaError::DimensionMismatch { got: schema.len(), expected: self.dim() });
         }
-        let pairs = self
-            .values
-            .iter()
-            .zip(self.relevance.iter())
-            .enumerate()
-            .filter(|&(_, (_, &r))| r > 0.0)
-            .map(|(i, (&v, &r))| {
+        let pairs = self.cells.chunks_exact(2).enumerate().filter(|&(_, pair)| pair[1] > 0.0).map(
+            |(i, pair)| {
+                let (v, r) = (pair[0], pair[1]);
                 let def = schema.get(AttributeId::new(i as u32)).expect("len checked");
                 let factor = if def.kind == AttributeKind::Emotional {
                     (1.0 + def.valence.value() * r).max(0.0)
@@ -289,8 +281,9 @@ impl SmartUserModel {
                     1.0
                 };
                 (i as u32, (v * factor).max(1e-9))
-            });
-        SparseVec::from_pairs(self.values.len(), pairs)
+            },
+        );
+        SparseVec::from_pairs(self.dim(), pairs)
     }
 
     /// [`SmartUserModel::advice_row`] written into a reusable
@@ -303,14 +296,12 @@ impl SmartUserModel {
         factors: &AdviceFactors,
         scratch: &'a mut RowScratch,
     ) -> Result<RowView<'a>> {
-        if factors.len() != self.values.len() {
-            return Err(SpaError::DimensionMismatch {
-                got: factors.len(),
-                expected: self.values.len(),
-            });
+        if factors.len() != self.dim() {
+            return Err(SpaError::DimensionMismatch { got: factors.len(), expected: self.dim() });
         }
-        scratch.reset(self.values.len());
-        for (i, (&v, &r)) in self.values.iter().zip(self.relevance.iter()).enumerate() {
+        scratch.reset(self.dim());
+        for (i, pair) in self.cells.chunks_exact(2).enumerate() {
+            let (v, r) = (pair[0], pair[1]);
             if r > 0.0 {
                 scratch.push(i as u32, (v * factors.factor(i, r)).max(1e-9));
             }
@@ -334,11 +325,12 @@ impl SmartUserModel {
         indices: &mut [u32],
         values: &mut [f64],
     ) -> usize {
-        assert_eq!(factors.len(), self.values.len(), "advice factors built for another schema");
-        assert_eq!(indices.len(), self.values.len(), "index buffer has the wrong dimension");
-        assert_eq!(values.len(), self.values.len(), "value buffer has the wrong dimension");
+        assert_eq!(factors.len(), self.dim(), "advice factors built for another schema");
+        assert_eq!(indices.len(), self.dim(), "index buffer has the wrong dimension");
+        assert_eq!(values.len(), self.dim(), "value buffer has the wrong dimension");
         let mut n = 0usize;
-        for (i, (&v, &r)) in self.values.iter().zip(self.relevance.iter()).enumerate() {
+        for (i, pair) in self.cells.chunks_exact(2).enumerate() {
+            let (v, r) = (pair[0], pair[1]);
             if r > 0.0 {
                 indices[n] = i as u32;
                 values[n] = (v * factors.factor(i, r)).max(1e-9);
@@ -370,6 +362,46 @@ impl SmartUserModel {
             b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
         out
+    }
+}
+
+/// A write handle to one user's slot in a locked registry shard (see
+/// [`SumRegistry::with_model_slot`]): the model materializes on first
+/// [`ModelSlot::get_or_create`], never as a side effect of merely
+/// holding the slot.
+pub struct ModelSlot<'a> {
+    map: &'a mut FastIdMap<SmartUserModel>,
+    user: UserId,
+    dim: usize,
+}
+
+impl ModelSlot<'_> {
+    /// The user this slot addresses.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Borrows the user's model, creating an empty one on first touch.
+    #[inline]
+    pub fn get_or_create(&mut self) -> &mut SmartUserModel {
+        self.map.entry(self.user.raw()).or_insert_with(|| SmartUserModel::new(self.user, self.dim))
+    }
+}
+
+/// Slot factory over one locked registry shard (see
+/// [`SumRegistry::with_shard_models`]).
+pub(crate) struct ShardModels<'a> {
+    map: &'a mut FastIdMap<SmartUserModel>,
+    dim: usize,
+    shard_index: usize,
+}
+
+impl ShardModels<'_> {
+    /// A lazy model slot for one of this shard's users.
+    #[inline]
+    pub(crate) fn slot(&mut self, user: UserId) -> ModelSlot<'_> {
+        debug_assert_eq!(SumRegistry::shard_index_of(user), self.shard_index);
+        ModelSlot { map: self.map, user, dim: self.dim }
     }
 }
 
@@ -433,6 +465,53 @@ impl SumRegistry {
         f(model, &self.config)
     }
 
+    /// Applies `f` to a **lazily materializing** handle for `user`'s
+    /// model, under one shard write-lock acquisition. Unlike
+    /// [`SumRegistry::with_model`], the model is only created (or even
+    /// probed) when `f` actually asks for it via
+    /// [`ModelSlot::get_or_create`] — so an event that turns out to
+    /// touch no per-user state (a message delivery, a rejected EIT
+    /// answer) leaves no empty model behind, and a batch of events for
+    /// one user pays the lock once instead of once per event.
+    pub fn with_model_slot<T>(
+        &self,
+        user: UserId,
+        f: impl FnOnce(&mut ModelSlot, &SumConfig) -> T,
+    ) -> T {
+        let mut shard = self.shard(user).write();
+        let mut slot = ModelSlot { map: &mut shard, user, dim: self.dim };
+        f(&mut slot, &self.config)
+    }
+
+    /// Number of internal registry shards (stable: the batched ingest
+    /// path buckets events by [`SumRegistry::shard_index_of`] so each
+    /// bucket shares one lock acquisition).
+    pub(crate) fn shard_count_static() -> usize {
+        SHARDS
+    }
+
+    /// The internal shard a user's model lives in.
+    #[inline]
+    pub(crate) fn shard_index_of(user: UserId) -> usize {
+        user.raw() as usize % SHARDS
+    }
+
+    /// Locks one internal shard and hands `f` a slot factory for the
+    /// users living there — the batched-ingest fast path: a whole
+    /// bucket of events applies under a single write-lock acquisition,
+    /// with one map probe per event instead of one lock *and* one
+    /// probe. Callers must only request slots for users of this shard
+    /// (debug-asserted in [`ShardModels::slot`]).
+    pub(crate) fn with_shard_models<T>(
+        &self,
+        shard_index: usize,
+        f: impl FnOnce(&mut ShardModels, &SumConfig) -> T,
+    ) -> T {
+        let mut shard = self.shards[shard_index].write();
+        let mut models = ShardModels { map: &mut shard, dim: self.dim, shard_index };
+        f(&mut models, &self.config)
+    }
+
     /// Applies `f` to a *borrowed* model under the shard read lock —
     /// the clone-free counterpart of [`SumRegistry::get`] for hot read
     /// paths (`None` when the user has no model). Keep `f` short: it
@@ -493,17 +572,16 @@ impl SumRegistry {
                     out.extend_from_slice(&c.to_le_bytes());
                 }
                 let live = model
-                    .values
-                    .iter()
-                    .zip(model.relevance.iter())
+                    .cells
+                    .chunks_exact(2)
                     .enumerate()
-                    .filter(|&(_, (&v, &r))| v.to_bits() != 0 || r.to_bits() != 0);
+                    .filter(|&(_, pair)| pair[0].to_bits() != 0 || pair[1].to_bits() != 0);
                 let nnz = live.clone().count() as u32;
                 out.extend_from_slice(&nnz.to_le_bytes());
-                for (i, (&v, &r)) in live {
+                for (i, pair) in live {
                     out.extend_from_slice(&(i as u32).to_le_bytes());
-                    out.extend_from_slice(&v.to_bits().to_le_bytes());
-                    out.extend_from_slice(&r.to_bits().to_le_bytes());
+                    out.extend_from_slice(&pair[0].to_bits().to_le_bytes());
+                    out.extend_from_slice(&pair[1].to_bits().to_le_bytes());
                 }
             });
         }
@@ -539,8 +617,7 @@ impl SumRegistry {
             if nnz > dim {
                 return Err(SpaError::Corrupt(format!("model for {user}: nnz {nnz} > dim {dim}")));
             }
-            let mut values = vec![0.0; dim];
-            let mut relevance = vec![0.0; dim];
+            let mut cells = vec![0.0; 2 * dim];
             for _ in 0..nnz {
                 let entry = take(&mut cursor, 20, "model entry")?;
                 let index = u32::from_le_bytes(entry[0..4].try_into().expect("4")) as usize;
@@ -549,12 +626,12 @@ impl SumRegistry {
                         "model for {user}: attribute index {index} out of range"
                     )));
                 }
-                values[index] =
+                cells[2 * index] =
                     f64::from_bits(u64::from_le_bytes(entry[4..12].try_into().expect("8")));
-                relevance[index] =
+                cells[2 * index + 1] =
                     f64::from_bits(u64::from_le_bytes(entry[12..20].try_into().expect("8")));
             }
-            self.insert_model(SmartUserModel { user, values, relevance, eit_answers, updates });
+            self.insert_model(SmartUserModel { user, cells, eit_answers, updates });
         }
         if !cursor.is_empty() {
             return Err(SpaError::Corrupt(format!(
@@ -572,8 +649,9 @@ impl SumRegistry {
         for user in self.user_ids() {
             let model = self.get(user).expect("listed user exists");
             let mut values = Vec::with_capacity(self.dim * 2 + 10);
-            values.extend_from_slice(&model.values);
-            values.extend_from_slice(&model.relevance);
+            // the profile layout keeps separate value/relevance blocks
+            values.extend(model.cells.iter().step_by(2));
+            values.extend(model.cells.iter().skip(1).step_by(2));
             values.extend(model.eit_answers.iter().map(|&c| c as f64));
             store
                 .put(
@@ -601,8 +679,11 @@ impl SumRegistry {
             if error.is_some() {
                 return;
             }
-            let values = profile.values[..dim].to_vec();
-            let relevance = profile.values[dim..2 * dim].to_vec();
+            let mut cells = vec![0.0; 2 * dim];
+            for i in 0..dim {
+                cells[2 * i] = profile.values[i];
+                cells[2 * i + 1] = profile.values[dim + i];
+            }
             let mut eit_answers = [0u32; 10];
             for (i, slot) in eit_answers.iter_mut().enumerate() {
                 let c = profile.values[2 * dim + i];
@@ -614,8 +695,7 @@ impl SumRegistry {
                 }
                 *slot = c as u32;
             }
-            let model =
-                SmartUserModel { user, values, relevance, eit_answers, updates: profile.updates };
+            let model = SmartUserModel { user, cells, eit_answers, updates: profile.updates };
             registry.shard(user).write().insert(user.raw(), model);
         });
         match error {

@@ -105,9 +105,11 @@ struct Writer {
     segment_bytes: u64,
     events_appended: u64,
     scratch: BytesMut,
-    /// Frame accumulator for batch appends: whole batches (up to a
-    /// segment roll) land in one `write_all` instead of one per event.
-    batch: Vec<u8>,
+    /// Frame accumulator for batch appends: frames are encoded
+    /// **directly into this buffer** (no per-event scratch round-trip)
+    /// and whole batches — up to a segment roll — land in one
+    /// `write_all` instead of one per event.
+    batch: BytesMut,
     /// Set after a failed frame write. The active segment may end in a
     /// torn frame, so accepting further appends would bury acknowledged
     /// events *behind* the tear — recovery truncates at the first torn
@@ -126,20 +128,32 @@ impl Writer {
         Ok(())
     }
 
-    /// Writes the accumulated batch frames in one call. The buffer is
-    /// cleared on success *and* failure; a failure poisons the writer
-    /// (the segment may hold a torn frame) — rebuild via recovery,
-    /// never retry frames.
-    fn flush_batch(&mut self) -> Result<()> {
-        if self.batch.is_empty() {
+    /// Writes the first `upto` bytes of the accumulated batch in one
+    /// call and retains the rest (a frame encoded past a segment
+    /// boundary stays buffered for the next segment). A failure clears
+    /// the buffer and poisons the writer (the segment may hold a torn
+    /// frame) — rebuild via recovery, never retry frames.
+    fn flush_batch_prefix(&mut self, upto: usize) -> Result<()> {
+        if upto == 0 {
             return Ok(());
         }
-        let result = self.file.write_all(&self.batch);
-        self.batch.clear();
+        let result = self.file.write_all(&self.batch[..upto]);
         if result.is_err() {
+            self.batch.clear();
             self.poisoned = true;
+        } else {
+            let len = self.batch.len();
+            if upto < len {
+                self.batch.copy_within(upto.., 0);
+            }
+            self.batch.truncate(len - upto);
         }
         result.map_err(Into::into)
+    }
+
+    /// Writes the whole accumulated batch.
+    fn flush_batch(&mut self) -> Result<()> {
+        self.flush_batch_prefix(self.batch.len())
     }
 }
 
@@ -227,7 +241,7 @@ impl EventLog {
                 segment_bytes: existing_bytes,
                 events_appended: 0,
                 scratch: BytesMut::with_capacity(64),
-                batch: Vec::new(),
+                batch: BytesMut::new(),
                 poisoned: false,
             }),
         })
@@ -290,23 +304,96 @@ impl EventLog {
         let mut appended = 0usize;
         debug_assert!(w.batch.is_empty());
         for event in events {
-            w.scratch.clear();
-            encode_frame(event, &mut w.scratch);
-            let frame_len = w.scratch.len() as u64;
+            // frame straight into the accumulator; when the frame would
+            // cross the segment boundary, flush everything before it,
+            // roll, and let the frame open the new segment
+            let start = w.batch.len();
+            encode_frame(event, &mut w.batch);
+            let frame_len = (w.batch.len() - start) as u64;
             if w.segment_bytes > 0 && w.segment_bytes + frame_len > self.config.segment_bytes {
-                w.flush_batch()?;
+                w.flush_batch_prefix(start)?;
                 if let Err(e) = self.roll_locked(w) {
+                    w.batch.clear();
                     w.poisoned = true;
                     return Err(e);
                 }
             }
-            w.batch.extend_from_slice(&w.scratch);
             w.segment_bytes += frame_len;
             w.events_appended += 1;
             appended += 1;
         }
         w.flush_batch()?;
         Ok(appended)
+    }
+
+    /// Appends a batch of **pre-encoded frames** — the byte run a
+    /// routing pass produced with [`crate::codec::encode_frame`] while
+    /// each event was still hot in cache. Frames are written straight
+    /// from `frames` (no copy into the writer's accumulator), split at
+    /// segment-roll boundaries by walking the length headers. The byte
+    /// stream and roll layout are identical to appending the same
+    /// events through [`EventLog::append_batch`]. Returns the frame
+    /// count.
+    ///
+    /// `frames` must be a well-formed concatenation of frames; a
+    /// length header exceeding [`crate::codec::MAX_PAYLOAD`] or a
+    /// truncated tail is a loud [`SpaError::Corrupt`] before anything
+    /// is written. Write-failure poisoning matches
+    /// [`EventLog::append_batch`].
+    pub fn append_encoded(&self, frames: &[u8]) -> Result<usize> {
+        // validation walk first (no allocation, headers stay cached),
+        // so a malformed buffer is rejected before any byte lands
+        let mut offset = 0usize;
+        let mut frames_total = 0usize;
+        while offset < frames.len() {
+            if frames.len() - offset < 8 {
+                return Err(SpaError::Corrupt(format!(
+                    "pre-encoded batch ends mid-header at offset {offset}"
+                )));
+            }
+            let len = u32::from_le_bytes(frames[offset..offset + 4].try_into().expect("4 bytes"));
+            if len > crate::codec::MAX_PAYLOAD {
+                return Err(SpaError::Corrupt(format!(
+                    "pre-encoded frame at offset {offset} claims {len} payload bytes"
+                )));
+            }
+            let total = 8 + len as usize;
+            if frames.len() - offset < total {
+                return Err(SpaError::Corrupt(format!(
+                    "pre-encoded batch ends mid-frame at offset {offset}"
+                )));
+            }
+            offset += total;
+            frames_total += 1;
+        }
+        let mut guard = self.writer.lock();
+        let w = &mut *guard;
+        w.check_poisoned()?;
+        let mut written = 0usize; // bytes of `frames` already on disk
+        let mut cursor = 0usize; // start of the frame under consideration
+        while cursor < frames.len() {
+            let len = u32::from_le_bytes(frames[cursor..cursor + 4].try_into().expect("4 bytes"));
+            let frame_len = 8 + len as u64;
+            if w.segment_bytes > 0 && w.segment_bytes + frame_len > self.config.segment_bytes {
+                if let Err(e) = w.file.write_all(&frames[written..cursor]) {
+                    w.poisoned = true;
+                    return Err(e.into());
+                }
+                written = cursor;
+                if let Err(e) = self.roll_locked(w) {
+                    w.poisoned = true;
+                    return Err(e);
+                }
+            }
+            w.segment_bytes += frame_len;
+            w.events_appended += 1;
+            cursor += frame_len as usize;
+        }
+        if let Err(e) = w.file.write_all(&frames[written..]) {
+            w.poisoned = true;
+            return Err(e.into());
+        }
+        Ok(frames_total)
     }
 
     fn roll_locked(&self, w: &mut Writer) -> Result<()> {
@@ -729,6 +816,62 @@ mod tests {
         assert_eq!(EventLog::replay_dir(&dir_batch).unwrap(), events);
         let _ = fs::remove_dir_all(&dir_single);
         let _ = fs::remove_dir_all(&dir_batch);
+    }
+
+    #[test]
+    fn append_encoded_matches_append_batch_bytes_across_rolls() {
+        let config = LogConfig { segment_bytes: 256, fsync: false };
+        let events: Vec<_> = (0..120).map(event).collect();
+        let dir_batch = tmp_dir("encoded-batch");
+        {
+            let log = EventLog::open(&dir_batch, config.clone()).unwrap();
+            assert_eq!(log.append_batch(events.iter()).unwrap(), 120);
+            log.flush().unwrap();
+        }
+        let dir_encoded = tmp_dir("encoded-pre");
+        {
+            let log = EventLog::open(&dir_encoded, config).unwrap();
+            // pre-encode in uneven runs, crossing roll boundaries
+            for chunk in events.chunks(37) {
+                let mut frames = BytesMut::new();
+                for e in chunk {
+                    encode_frame(e, &mut frames);
+                }
+                assert_eq!(log.append_encoded(&frames).unwrap(), chunk.len());
+            }
+            log.flush().unwrap();
+        }
+        let batch = list_segments(&dir_batch).unwrap();
+        let encoded = list_segments(&dir_encoded).unwrap();
+        assert_eq!(batch.len(), encoded.len(), "segment layout diverges");
+        for ((i_b, p_b), (i_e, p_e)) in batch.iter().zip(encoded.iter()) {
+            assert_eq!(i_b, i_e);
+            assert_eq!(fs::read(p_b).unwrap(), fs::read(p_e).unwrap(), "segment {i_b} diverges");
+        }
+        assert_eq!(EventLog::replay_dir(&dir_encoded).unwrap(), events);
+        let _ = fs::remove_dir_all(&dir_batch);
+        let _ = fs::remove_dir_all(&dir_encoded);
+    }
+
+    #[test]
+    fn append_encoded_rejects_malformed_buffers() {
+        let dir = tmp_dir("encoded-bad");
+        let log = EventLog::open_default(&dir).unwrap();
+        let mut frames = BytesMut::new();
+        encode_frame(&event(1), &mut frames);
+        // truncated tail
+        assert!(matches!(
+            log.append_encoded(&frames[..frames.len() - 2]),
+            Err(SpaError::Corrupt(_))
+        ));
+        // absurd length header
+        let mut bad = frames.to_vec();
+        bad[..4].copy_from_slice(&(crate::codec::MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(log.append_encoded(&bad), Err(SpaError::Corrupt(_))));
+        // nothing was written, and the log is not poisoned
+        assert_eq!(log.append_encoded(&frames).unwrap(), 1);
+        assert_eq!(log.replay().unwrap(), vec![event(1)]);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -181,6 +181,12 @@ impl ShardedEventLog {
         self.logs[shard.index()].append_batch(events)
     }
 
+    /// Appends pre-encoded frames to one shard's log (see
+    /// [`EventLog::append_encoded`]).
+    pub fn append_encoded(&self, shard: ShardId, frames: &[u8]) -> Result<usize> {
+        self.logs[shard.index()].append_encoded(frames)
+    }
+
     /// Flushes every shard's log.
     pub fn flush(&self) -> Result<()> {
         for log in &self.logs {

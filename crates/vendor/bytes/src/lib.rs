@@ -88,6 +88,12 @@ impl BytesMut {
         self.data.clear();
     }
 
+    /// Shortens the buffer to `len` bytes (no-op when already shorter),
+    /// keeping capacity.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
     /// Appends raw bytes.
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
@@ -114,6 +120,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 
@@ -160,6 +172,21 @@ impl Buf for Bytes {
         let start = self.pos;
         self.pos += n;
         &self.data[start..start + n]
+    }
+}
+
+/// Borrowed cursor reads, as in the real `bytes` crate — decoding from
+/// a `&[u8]` advances the slice itself, no copy into an owned buffer.
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance_read(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "buffer underflow");
+        let (head, tail) = self.split_at(n);
+        *self = tail;
+        head
     }
 }
 
@@ -222,6 +249,25 @@ mod tests {
         let taken = buf.split();
         assert_eq!(&*taken, b"abc");
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn slice_buf_reads_borrowed() {
+        let data = [7u8, 0xEF, 0xBE, 0xAD, 0xDE];
+        let mut cursor: &[u8] = &data;
+        assert_eq!(cursor.remaining(), 5);
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn deref_mut_allows_in_place_patching() {
+        let mut out = BytesMut::new();
+        out.put_u32_le(0);
+        out.put_u8(9);
+        out[0..4].copy_from_slice(&1u32.to_le_bytes());
+        assert_eq!(&out[..], &[1, 0, 0, 0, 9]);
     }
 
     #[test]
