@@ -1,0 +1,157 @@
+//! Chaos machinery overhead: the lifecycle scenario generator and the
+//! storage fault seam.
+//!
+//! Two questions the chaos soak raises about production cost:
+//!
+//! 1. **Scenario generation** — how fast does [`ScenarioEngine`] emit
+//!    its production-weather stream (Zipf hot set, cohort churn,
+//!    valence drift, staggered campaigns)? The soak interleaves
+//!    generation with serving, so generation must be far from the
+//!    bottleneck.
+//! 2. **Fault-seam tax** — every WAL byte now flows through the
+//!    [`StorageIo`] trait object so a [`FaultPlan`] *could* be wired
+//!    in. The `wal_append` group measures the same append stream
+//!    against the real seam (`EventLog::open`), a disarmed plan
+//!    (seam consulted, injection declined), and an armed-but-silent
+//!    plan (probabilities all zero, full dice path). The spread
+//!    between them is the price of making every write injectable.
+//!
+//! Run with `cargo bench -p spa-bench --bench chaos`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use spa_store::fault::{FaultPlan, FaultPlanConfig};
+use spa_store::log::LogConfig;
+use spa_store::EventLog;
+use spa_synth::{ScenarioEngine, ScenarioSpec};
+use spa_types::LifeLogEvent;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Tmpfs when available so the seam comparison is not drowned in disk
+/// writeback variance.
+fn scratch_base() -> PathBuf {
+    let shm = PathBuf::from("/dev/shm");
+    if shm.is_dir() {
+        shm
+    } else {
+        std::env::temp_dir()
+    }
+}
+
+fn tmp_dir(tag: &str, round: u64) -> PathBuf {
+    let dir = scratch_base().join(format!("spa-bench-chaos-{tag}-{}-{round}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A silent plan: armed, dice rolled on every operation, but every
+/// probability is zero so nothing ever fires. Upper bound on the
+/// seam's per-operation cost.
+fn silent_plan() -> Arc<FaultPlan> {
+    let plan = Arc::new(FaultPlan::seeded(FaultPlanConfig {
+        seed: 0xBE_AC47,
+        torn_write_per_10k: 0,
+        transient_eio_per_10k: 0,
+        transient_burst_max: 0,
+        fsync_failure_per_10k: 0,
+        read_rot_per_10k: 0,
+    }));
+    plan.set_armed(true);
+    plan
+}
+
+/// One production-weather stream, fully materialised.
+fn weather_events(seed: u64, ticks: u32) -> Vec<LifeLogEvent> {
+    let engine = ScenarioEngine::new(ScenarioSpec::production_weather(seed, ticks)).unwrap();
+    engine.flat_map(|tick| tick.events).collect()
+}
+
+fn bench_scenario_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_gen");
+    for &ticks in &[256u32, 1024] {
+        let n_events = weather_events(7, ticks).len();
+        group.throughput(Throughput::Elements(n_events as u64));
+        group.bench_function(format!("production_weather_{ticks}t"), |b| {
+            b.iter(|| {
+                let mut events = 0usize;
+                let engine =
+                    ScenarioEngine::new(ScenarioSpec::production_weather(7, ticks)).unwrap();
+                for tick in engine {
+                    events += tick.events.len();
+                }
+                black_box(events)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fault_seam(c: &mut Criterion) {
+    const N: usize = 20_000;
+    let stream = weather_events(11, 512);
+    let stream: Vec<LifeLogEvent> = stream.into_iter().cycle().take(N).collect();
+    let config = LogConfig { segment_bytes: 1 << 20, fsync: false };
+
+    let mut group = c.benchmark_group("wal_append");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(N as u64));
+
+    let mut round = 0u64;
+    group.bench_function("real_io_20k", |b| {
+        b.iter_batched(
+            || {
+                round += 1;
+                EventLog::open(tmp_dir("real", round), config.clone()).unwrap()
+            },
+            |log| {
+                log.append_batch(stream.iter()).unwrap();
+                log.flush().unwrap();
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("disarmed_plan_20k", |b| {
+        b.iter_batched(
+            || {
+                round += 1;
+                let plan = Arc::new(FaultPlan::seeded(FaultPlanConfig::default()));
+                EventLog::open_with_io(tmp_dir("disarmed", round), config.clone(), plan).unwrap()
+            },
+            |log| {
+                log.append_batch(stream.iter()).unwrap();
+                log.flush().unwrap();
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("armed_silent_plan_20k", |b| {
+        b.iter_batched(
+            || {
+                round += 1;
+                EventLog::open_with_io(tmp_dir("silent", round), config.clone(), silent_plan())
+                    .unwrap()
+            },
+            |log| {
+                log.append_batch(stream.iter()).unwrap();
+                log.flush().unwrap();
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    for tag in ["real", "disarmed", "silent"] {
+        for r in 0..=round {
+            let _ = std::fs::remove_dir_all(tmp_dir(tag, r));
+        }
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    bench_scenario_gen(c);
+    bench_fault_seam(c);
+}
+
+criterion_group!(chaos, benches);
+criterion_main!(chaos);

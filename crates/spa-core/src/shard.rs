@@ -40,6 +40,7 @@ use crate::snapshot::SECTION_SELECTION;
 use parking_lot::{Mutex, RwLock};
 use spa_linalg::SparseVec;
 use spa_ml::Dataset;
+use spa_store::fault::{real_io, StorageIo};
 use spa_store::log::LogConfig;
 use spa_store::snapshot::{self, Snapshot, SnapshotBuilder};
 use spa_store::{LogPosition, ShardedEventLog, TornTail};
@@ -48,7 +49,9 @@ use spa_types::{
     AttributeSchema, CampaignId, EmotionalAttribute, LifeLogEvent, Result, ShardId, SpaError,
     UserId,
 };
+use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 /// File at the log root holding the global selection function's trained
 /// state (one per platform, not per shard — the selection model is
@@ -102,6 +105,19 @@ fn batch_is_parallel_worthy(audience: usize) -> bool {
     }
 }
 
+/// Collapses the failures of a multi-shard fan-out into one error. A
+/// single failure passes through unchanged; several are joined into one
+/// message preserving each shard's full error text — a chaos harness
+/// accounts for every injected fault by scanning the text of every
+/// surfaced error, so no shard's failure may be swallowed.
+fn join_shard_errors(mut errors: Vec<SpaError>) -> SpaError {
+    if errors.len() == 1 {
+        return errors.pop().expect("caller checked non-empty");
+    }
+    let joined = errors.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; ");
+    SpaError::Io(std::io::Error::other(format!("{} shards failed: {joined}", errors.len())))
+}
+
 /// What [`ShardedSpa::recover`] found while replaying per-shard logs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -122,6 +138,15 @@ pub struct RecoveryReport {
     /// checkpointed weights (`false` = no/corrupt selection snapshot;
     /// the function is untrained and must be re-fit).
     pub selection_restored: bool,
+    /// Shards whose registered snapshot failed to load, forcing the
+    /// fallback ladder (an older snapshot or a full replay). Zero on a
+    /// healthy recovery; every unit here is a detected corruption that
+    /// was survived, not ignored.
+    pub snapshot_fallbacks: u64,
+    /// Leftover atomic-write temp files (`*.snap-tmp`, `*.tmp`) from
+    /// checkpoints or manifest rewrites the crash interrupted, removed
+    /// during recovery so they can never be mistaken for durable state.
+    pub stale_temps_removed: u64,
 }
 
 impl RecoveryReport {
@@ -147,6 +172,49 @@ impl RecoveryReport {
     }
 }
 
+impl fmt::Display for RecoveryReport {
+    /// Operator-facing recovery summary: one glance tells how the
+    /// platform came back (snapshots vs replay), how much work it cost,
+    /// and every anomaly that was healed along the way — torn tails,
+    /// snapshot fallbacks, stale temp files. Anomalies print even when
+    /// zero so their absence is affirmative, not unreported.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let shards = self.events_replayed.len();
+        writeln!(
+            f,
+            "recovered {shards} shard{}: {} from snapshot, {} by full replay",
+            if shards == 1 { "" } else { "s" },
+            self.shards_from_snapshot(),
+            shards - self.shards_from_snapshot(),
+        )?;
+        writeln!(
+            f,
+            "  events: {} replayed, {} rejected-and-skipped (identically to live ingest)",
+            self.total_events(),
+            self.total_skipped(),
+        )?;
+        writeln!(
+            f,
+            "  healed: {} torn tail{}, {} snapshot fallback{}, {} stale temp file{} removed",
+            self.torn_shards(),
+            if self.torn_shards() == 1 { "" } else { "s" },
+            self.snapshot_fallbacks,
+            if self.snapshot_fallbacks == 1 { "" } else { "s" },
+            self.stale_temps_removed,
+            if self.stale_temps_removed == 1 { "" } else { "s" },
+        )?;
+        write!(
+            f,
+            "  selection function: {}",
+            if self.selection_restored {
+                "restored bit-identical from checkpoint"
+            } else {
+                "not restored (no valid snapshot; re-fit before scoring)"
+            }
+        )
+    }
+}
+
 /// What [`ShardedSpa::checkpoint`] wrote.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckpointReport {
@@ -166,6 +234,10 @@ pub struct CompactionReport {
     pub bytes_reclaimed: u64,
     /// Superseded snapshot files removed.
     pub snapshots_pruned: usize,
+    /// Shards whose registered snapshot failed re-validation and were
+    /// therefore left uncompacted (their history is the only copy of
+    /// the covered events until a fresh checkpoint succeeds).
+    pub shards_skipped: usize,
 }
 
 /// Reusable routing buffers for [`ShardedSpa::ingest_batch`]: one
@@ -198,6 +270,11 @@ pub struct ShardedSpa {
     shards: Vec<Spa>,
     selection: SelectionFunction,
     log: Option<ShardedEventLog>,
+    /// Storage I/O seam shared by the WAL and every snapshot write/read
+    /// this platform performs. [`spa_store::RealIo`] in production; a
+    /// [`spa_store::FaultPlan`] under chaos testing
+    /// ([`ShardedSpa::with_log_io`] / [`ShardedSpa::recover_with_io`]).
+    io: Arc<dyn StorageIo>,
     /// Routing scratch reused across [`ShardedSpa::ingest_batch`] calls.
     routing: Mutex<RoutingScratch>,
     /// Per-shard write-pause latches. Every state-mutating entry point
@@ -229,6 +306,7 @@ impl ShardedSpa {
             shards,
             selection,
             log: None,
+            io: real_io(),
             routing: Mutex::new(RoutingScratch::default()),
             pauses,
             maintenance: Mutex::new(()),
@@ -246,8 +324,27 @@ impl ShardedSpa {
         root: impl AsRef<Path>,
         log_config: LogConfig,
     ) -> Result<Self> {
+        Self::with_log_io(courses, config, shards, root, log_config, real_io())
+    }
+
+    /// [`ShardedSpa::with_log`] with an explicit [`StorageIo`] seam
+    /// threaded through the WAL and every snapshot write/read. This is
+    /// the chaos-testing entry point: pass a
+    /// [`spa_store::FaultPlan`] and every injected fault is either
+    /// recovered (bounded retry on the write path) or surfaced loudly —
+    /// never silently absorbed.
+    pub fn with_log_io(
+        courses: &CourseCatalog,
+        config: SpaConfig,
+        shards: usize,
+        root: impl AsRef<Path>,
+        log_config: LogConfig,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<Self> {
         let mut sharded = Self::new(courses, config, shards)?;
-        sharded.log = Some(ShardedEventLog::open(root.as_ref(), shards, log_config)?);
+        sharded.log =
+            Some(ShardedEventLog::open_with_io(root.as_ref(), shards, log_config, io.clone())?);
+        sharded.io = io;
         Ok(sharded)
     }
 
@@ -298,6 +395,25 @@ impl ShardedSpa {
         root: impl AsRef<Path>,
         log_config: LogConfig,
     ) -> Result<(Self, RecoveryReport)> {
+        Self::recover_with_io(courses, config, campaigns, root, log_config, real_io())
+    }
+
+    /// [`ShardedSpa::recover`] with an explicit [`StorageIo`] seam: the
+    /// registered-snapshot reads, tail replay and reattached WAL all go
+    /// through `io`, so a chaos harness can inject read-side bit rot
+    /// into recovery itself and assert it is surfaced (a `Corrupt`
+    /// error or a counted snapshot fallback), never silently served.
+    /// The fallback ladder (older snapshot, full-history replay) reads
+    /// with real I/O — it is the escape hatch *from* detected
+    /// corruption.
+    pub fn recover_with_io(
+        courses: &CourseCatalog,
+        config: SpaConfig,
+        campaigns: &[(CampaignId, Vec<EmotionalAttribute>)],
+        root: impl AsRef<Path>,
+        log_config: LogConfig,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<(Self, RecoveryReport)> {
         let root = root.as_ref();
         // one manifest read serves both the shard count and the
         // checkpoint registrations (the vector is always count-sized)
@@ -308,6 +424,8 @@ impl ShardedSpa {
             skipped: u64,
             torn: Option<TornTail>,
             snapshot: Option<LogPosition>,
+            fallback: bool,
+            stale_temps: u64,
         }
         // each shard recovers independently (its own snapshot, its own
         // segments, its own Spa): build the shard, load the registered
@@ -320,11 +438,17 @@ impl ShardedSpa {
                 spa.register_campaign(*campaign, appeal);
             }
             let dir = ShardedEventLog::shard_path(root, ShardId::new(index as u32));
+            // a crash mid-checkpoint leaves `*.snap-tmp` partials in the
+            // shard directory; remove them first (and count them in the
+            // report) so no later code path can mistake one for a
+            // durable snapshot
+            let stale_temps = snapshot::remove_stale_temps(&dir)?.len() as u64;
             let mut start = LogPosition::default();
             let mut loaded = None;
+            let mut fallback = false;
             if let Some(position) = registered[index] {
                 let path = snapshot::snapshot_path(&dir, position);
-                let restore = Snapshot::read(&path).and_then(|snap| {
+                let restore = Snapshot::read_with(&path, io.clone()).and_then(|snap| {
                     if snap.position() != position {
                         return Err(SpaError::Corrupt(format!(
                             "snapshot {} covers position {}, manifest registered {position}",
@@ -340,6 +464,7 @@ impl ShardedSpa {
                         loaded = Some(position);
                     }
                     Err(cause) => {
+                        fallback = true;
                         // the registered snapshot is unloadable (CRC
                         // failure, missing file). Fallback ladder:
                         // 1. another valid snapshot on disk whose tail
@@ -390,7 +515,7 @@ impl ShardedSpa {
                     }
                 }
             }
-            let mut iter = spa_store::EventLog::replay_iter_from(&dir, start)?;
+            let mut iter = spa_store::EventLog::replay_iter_from_with(&dir, start, io.clone())?;
             let mut applied = 0u64;
             let mut skipped = 0u64;
             for event in iter.by_ref() {
@@ -405,7 +530,10 @@ impl ShardedSpa {
             if let Some(torn) = &torn {
                 spa_store::EventLog::truncate_torn_tail(&dir, torn)?;
             }
-            Ok((spa, ShardOutcome { applied, skipped, torn, snapshot: loaded }))
+            Ok((
+                spa,
+                ShardOutcome { applied, skipped, torn, snapshot: loaded, fallback, stale_temps },
+            ))
         };
         let outcomes: Vec<Result<(Spa, ShardOutcome)>> = fan_out(shards, true, recover_shard);
         // assemble the facade around the recovered shards directly (no
@@ -416,6 +544,7 @@ impl ShardedSpa {
             shards: Vec::with_capacity(shards),
             selection: SelectionFunction::with_imbalance(schema.len(), config.positive_weight),
             log: None,
+            io: io.clone(),
             routing: Mutex::new(RoutingScratch::default()),
             pauses: (0..shards).map(|_| RwLock::new(())).collect(),
             maintenance: Mutex::new(()),
@@ -424,13 +553,20 @@ impl ShardedSpa {
         let mut events_skipped = Vec::with_capacity(shards);
         let mut torn_tails = Vec::with_capacity(shards);
         let mut snapshots_loaded = Vec::with_capacity(shards);
+        let mut snapshot_fallbacks = 0u64;
+        // the root itself holds atomic-write temps too (selection
+        // snapshot, manifest rewrite); clean it like the shard dirs
+        let mut stale_temps_removed = snapshot::remove_stale_temps(root)?.len() as u64;
         for outcome in outcomes {
-            let (spa, ShardOutcome { applied, skipped, torn, snapshot }) = outcome?;
+            let (spa, ShardOutcome { applied, skipped, torn, snapshot, fallback, stale_temps }) =
+                outcome?;
             sharded.shards.push(spa);
             events_replayed.push(applied);
             events_skipped.push(skipped);
             torn_tails.push(torn);
             snapshots_loaded.push(snapshot);
+            snapshot_fallbacks += fallback as u64;
+            stale_temps_removed += stale_temps;
         }
         // the global selection function: restored from the checkpoint's
         // weight snapshot when one is present and valid; a missing or
@@ -440,13 +576,13 @@ impl ShardedSpa {
         let mut selection_restored = false;
         let selection_path = root.join(SELECTION_SNAPSHOT);
         if selection_path.exists() {
-            if let Ok(snap) = Snapshot::read(&selection_path) {
+            if let Ok(snap) = Snapshot::read_with(&selection_path, io.clone()) {
                 if let Some(bytes) = snap.section(SECTION_SELECTION) {
                     selection_restored = sharded.selection.restore_state(bytes).is_ok();
                 }
             }
         }
-        sharded.log = Some(ShardedEventLog::open_existing(root, log_config)?);
+        sharded.log = Some(ShardedEventLog::open_existing_with_io(root, log_config, io)?);
         Ok((
             sharded,
             RecoveryReport {
@@ -455,6 +591,8 @@ impl ShardedSpa {
                 torn_tails,
                 snapshots_loaded,
                 selection_restored,
+                snapshot_fallbacks,
+                stale_temps_removed,
             },
         ))
     }
@@ -506,17 +644,29 @@ impl ShardedSpa {
             // surviving segment
             log.sync_up_to(shard_id, position)?;
             let dir = ShardedEventLog::shard_path(log.root(), shard_id);
-            let bytes = builder.write_atomic(snapshot::snapshot_path(&dir, position))?;
+            let bytes = builder
+                .write_atomic_with(snapshot::snapshot_path(&dir, position), self.io.as_ref())?;
             Ok((position, bytes))
         };
         let written: Vec<Result<(LogPosition, u64)>> =
             fan_out(self.shards.len(), true, snapshot_shard);
         let mut positions = Vec::with_capacity(self.shards.len());
         let mut snapshot_bytes = 0u64;
+        let mut errors = Vec::new();
         for outcome in written {
-            let (position, bytes) = outcome?;
-            positions.push(position);
-            snapshot_bytes += bytes;
+            match outcome {
+                Ok((position, bytes)) => {
+                    positions.push(position);
+                    snapshot_bytes += bytes;
+                }
+                Err(e) => errors.push(e),
+            }
+        }
+        // a failed shard aborts the checkpoint before the manifest
+        // commit — the previous checkpoint stays fully intact; every
+        // failing shard's error is preserved in the joined message
+        if !errors.is_empty() {
+            return Err(join_shard_errors(errors));
         }
         // global selection weights (checkpoint(&self) excludes the
         // &mut training entry points, so the weights are stable here)
@@ -524,7 +674,8 @@ impl ShardedSpa {
         self.selection.write_state(&mut selection_state);
         let mut builder = SnapshotBuilder::new(LogPosition::default());
         builder.section(SECTION_SELECTION, selection_state);
-        snapshot_bytes += builder.write_atomic(log.root().join(SELECTION_SNAPSHOT))?;
+        snapshot_bytes +=
+            builder.write_atomic_with(log.root().join(SELECTION_SNAPSHOT), self.io.as_ref())?;
         // commit: one atomic manifest rewrite registers everything
         let registrations: Vec<Option<LogPosition>> = positions.iter().copied().map(Some).collect();
         ShardedEventLog::register_snapshots(log.root(), &registrations)?;
@@ -557,9 +708,14 @@ impl ShardedSpa {
             let Some(position) = position else { continue };
             let shard_id = ShardId::new(index as u32);
             let dir = ShardedEventLog::shard_path(log.root(), shard_id);
-            let snapshot_ok = Snapshot::read(snapshot::snapshot_path(&dir, *position))
-                .is_ok_and(|snap| snap.position() == *position);
+            let snapshot_ok =
+                Snapshot::read_with(snapshot::snapshot_path(&dir, *position), self.io.clone())
+                    .is_ok_and(|snap| snap.position() == *position);
             if !snapshot_ok {
+                // skipped, and *visibly* skipped: the report says how
+                // many shards kept their history because their snapshot
+                // could not be trusted
+                report.shards_skipped += 1;
                 continue;
             }
             let stats = log.compact_before(shard_id, *position)?;
@@ -641,10 +797,12 @@ impl ShardedSpa {
     /// replay but not live. Errors surface only from the write-ahead
     /// log itself (I/O).
     ///
-    /// On a WAL I/O error the lowest-indexed failing shard's error is
-    /// returned; because shards pipeline independently, other shards
+    /// On a WAL I/O error every failing shard's error is surfaced — a
+    /// single failure passes through unchanged, several are joined into
+    /// one message preserving each shard's error text (no failure is
+    /// swallowed). Because shards pipeline independently, other shards
     /// may already have logged **and applied** their sub-batches, and
-    /// the failing shard's own log is poisoned with a possibly-torn
+    /// each failing shard's own log is poisoned with a possibly-torn
     /// tail. Treat the error as fatal, exactly as the per-event
     /// contract on [`ShardedSpa::ingest`] already demands: rebuild
     /// through [`ShardedSpa::recover`] (which replays the durably
@@ -689,12 +847,11 @@ impl ShardedSpa {
         };
         let outcomes: Vec<Result<usize>> = fan_out(self.shards.len(), true, run_shard);
         let mut applied = 0usize;
-        let mut first_error = None;
+        let mut errors = Vec::new();
         for outcome in outcomes {
             match outcome {
                 Ok(count) => applied += count,
-                Err(e) if first_error.is_none() => first_error = Some(e),
-                Err(_) => {}
+                Err(e) => errors.push(e),
             }
         }
         // hand the buffers back for the next batch to reuse (dropping
@@ -703,9 +860,10 @@ impl ShardedSpa {
             batch.recycle();
         }
         *self.routing.lock() = scratch;
-        match first_error {
-            Some(e) => Err(e),
-            None => Ok(applied),
+        if errors.is_empty() {
+            Ok(applied)
+        } else {
+            Err(join_shard_errors(errors))
         }
     }
 
@@ -1173,10 +1331,11 @@ mod tests {
         assert_eq!(recovered.stats().eit_answers, 6);
         // compact() re-validates the registered snapshot before it
         // deletes anything: a corrupt snapshot means the history is the
-        // only copy of those events, so the shard must be skipped
+        // only copy of those events, so the shard must be skipped —
+        // and the skip must be visible in the report
         assert_eq!(
             recovered.compact().unwrap(),
-            CompactionReport::default(),
+            CompactionReport { shards_skipped: 1, ..CompactionReport::default() },
             "compaction behind an unloadable snapshot would be data loss"
         );
         assert_eq!(spa_store::EventLog::first_segment_index(&shard_dir).unwrap(), Some(0));
@@ -1245,6 +1404,89 @@ mod tests {
         assert_eq!(report.total_events(), 5, "replays everything after checkpoint A");
         assert_eq!(recovered.stats().eit_answers, 11);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn recovery_removes_stale_snapshot_temps_loudly() {
+        let root = std::env::temp_dir().join(format!("spa-shard-tmps-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let user = UserId::new(5);
+        {
+            let sharded = ShardedSpa::with_log(
+                &courses(),
+                SpaConfig::default(),
+                2,
+                &root,
+                LogConfig::default(),
+            )
+            .unwrap();
+            for round in 0..4 {
+                sharded.ingest(&eit_event(&sharded, user, round, 0.7)).unwrap();
+            }
+            sharded.checkpoint().unwrap();
+        }
+        // plant the debris a crash mid-checkpoint / mid-manifest-rewrite
+        // leaves behind: partial snapshot temps and a manifest temp
+        let shard_dir = root.join("shard-0000");
+        let snap_tmp = shard_dir.join("snapshot-junk.snap.snap-tmp");
+        let manifest_tmp = root.join("shards.manifest.tmp");
+        std::fs::write(&snap_tmp, b"partial snapshot bytes").unwrap();
+        std::fs::write(&manifest_tmp, b"partial manifest").unwrap();
+        let (recovered, report) =
+            ShardedSpa::recover(&courses(), SpaConfig::default(), &[], &root, LogConfig::default())
+                .unwrap();
+        assert_eq!(report.stale_temps_removed, 2, "both planted temps are removed and counted");
+        assert!(!snap_tmp.exists());
+        assert!(!manifest_tmp.exists());
+        assert_eq!(recovered.stats().eit_answers, 4);
+        // real snapshots survive the sweep: the shards still restore
+        // from their checkpoints
+        assert_eq!(report.shards_from_snapshot(), 2);
+        drop(recovered);
+        // a clean recovery reports zero — absence is affirmative
+        let (_again, report) =
+            ShardedSpa::recover(&courses(), SpaConfig::default(), &[], &root, LogConfig::default())
+                .unwrap();
+        assert_eq!(report.stale_temps_removed, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn recovery_report_display_summarizes_the_recovery() {
+        let report = RecoveryReport {
+            events_replayed: vec![3, 4, 0],
+            events_skipped: vec![1, 0, 0],
+            torn_tails: vec![None, None, None],
+            snapshots_loaded: vec![Some(LogPosition::default()), None, None],
+            selection_restored: true,
+            snapshot_fallbacks: 1,
+            stale_temps_removed: 2,
+        };
+        let text = report.to_string();
+        assert!(text.contains("recovered 3 shards"), "{text}");
+        assert!(text.contains("1 from snapshot, 2 by full replay"), "{text}");
+        assert!(text.contains("7 replayed"), "{text}");
+        assert!(text.contains("1 rejected-and-skipped"), "{text}");
+        assert!(text.contains("0 torn tails"), "{text}");
+        assert!(text.contains("1 snapshot fallback"), "{text}");
+        assert!(text.contains("2 stale temp files removed"), "{text}");
+        assert!(text.contains("restored bit-identical"), "{text}");
+        let untrained = RecoveryReport { selection_restored: false, ..report };
+        assert!(untrained.to_string().contains("re-fit before scoring"));
+    }
+
+    #[test]
+    fn multi_shard_failures_are_joined_not_swallowed() {
+        let single = join_shard_errors(vec![SpaError::Corrupt("only one".into())]);
+        assert!(matches!(&single, SpaError::Corrupt(msg) if msg == "only one"));
+        let joined = join_shard_errors(vec![
+            SpaError::Corrupt("shard 0 torn".into()),
+            SpaError::Io(std::io::Error::other("shard 2 eio")),
+        ]);
+        let text = joined.to_string();
+        assert!(text.contains("2 shards failed"), "{text}");
+        assert!(text.contains("shard 0 torn"), "{text}");
+        assert!(text.contains("shard 2 eio"), "{text}");
     }
 
     #[test]

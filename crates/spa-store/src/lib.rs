@@ -22,22 +22,29 @@
 //!   loads a checkpoint and replays only the log tail behind it
 //!   (bounded-time recovery) and covered segments can be compacted
 //!   away;
-//! * [`csv`] — plain-text import/export for datasets and reports.
+//! * [`csv`] — plain-text import/export for datasets and reports;
+//! * [`fault`] — a deterministic **storage fault-injection** seam
+//!   ([`StorageIo`]) with a seeded [`FaultPlan`], so chaos harnesses
+//!   can prove the recovery machinery against torn writes, fsync
+//!   failures, transient `EIO` and read-side bit rot.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod csv;
+pub mod fault;
 pub mod index;
 pub mod log;
 pub mod profile;
 pub mod shard_log;
 pub mod snapshot;
 
+pub use fault::{FaultCounts, FaultLedger, FaultPlan, FaultPlanConfig, RealIo, StorageIo};
 pub use index::SensibilityIndex;
 pub use log::{
     CompactionStats, EventLog, LogPosition, LogStats, ReplayIter, ReplayOutcome, TornTail,
+    WriteFaultCounters,
 };
 pub use profile::{ProfileStore, UserProfile};
 pub use shard_log::ShardedEventLog;

@@ -9,12 +9,51 @@
 //! recovery).
 
 use crate::codec::{decode_frame, encode_frame, FrameRead};
+use crate::fault::{
+    injected_error, real_io, StorageIo, WriteFault, INJECTED_FSYNC_FAILURE, INJECTED_TORN_WRITE,
+    INJECTED_TRANSIENT_EIO,
+};
 use bytes::BytesMut;
 use parking_lot::Mutex;
 use spa_types::{LifeLogEvent, Result, SpaError};
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// How many transient write faults the append path absorbs per write
+/// before giving up and poisoning the log. A transient fault leaves the
+/// file untouched, so re-attempting is always sound; bounding the
+/// retries keeps a persistently failing device from hanging ingest.
+pub const WRITE_RETRY_LIMIT: u32 = 4;
+
+/// Base backoff between transient-write retries, in microseconds
+/// (doubled per successive retry of the same write).
+pub const WRITE_RETRY_BACKOFF_US: u64 = 20;
+
+/// Write-path fault accounting for one log: how the bounded retry
+/// policy disposed of transient write faults. All zero under
+/// production I/O ([`crate::fault::RealIo`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriteFaultCounters {
+    /// Transient write faults absorbed by in-place retries (the write
+    /// eventually landed; callers never saw an error).
+    pub transients_absorbed: u64,
+    /// Transient write faults in bursts that exhausted
+    /// [`WRITE_RETRY_LIMIT`] and poisoned the log.
+    pub transients_fatal: u64,
+    /// Writes that succeeded only after at least one retry.
+    pub writes_recovered: u64,
+}
+
+impl WriteFaultCounters {
+    /// Component-wise sum (for aggregating shards).
+    pub fn accumulate(&mut self, other: WriteFaultCounters) {
+        self.transients_absorbed += other.transients_absorbed;
+        self.transients_fatal += other.transients_fatal;
+        self.writes_recovered += other.writes_recovered;
+    }
+}
 
 /// Configuration for an [`EventLog`].
 #[derive(Debug, Clone)]
@@ -104,6 +143,7 @@ struct Writer {
     segment_index: u64,
     segment_bytes: u64,
     events_appended: u64,
+    io_counters: WriteFaultCounters,
     scratch: BytesMut,
     /// Frame accumulator for batch appends: frames are encoded
     /// **directly into this buffer** (no per-event scratch round-trip)
@@ -133,11 +173,11 @@ impl Writer {
     /// boundary stays buffered for the next segment). A failure clears
     /// the buffer and poisons the writer (the segment may hold a torn
     /// frame) — rebuild via recovery, never retry frames.
-    fn flush_batch_prefix(&mut self, upto: usize) -> Result<()> {
+    fn flush_batch_prefix(&mut self, io: &dyn StorageIo, upto: usize) -> Result<()> {
         if upto == 0 {
             return Ok(());
         }
-        let result = self.file.write_all(&self.batch[..upto]);
+        let result = write_guarded(&mut self.file, &mut self.io_counters, io, &self.batch[..upto]);
         if result.is_err() {
             self.batch.clear();
             self.poisoned = true;
@@ -152,9 +192,87 @@ impl Writer {
     }
 
     /// Writes the whole accumulated batch.
-    fn flush_batch(&mut self) -> Result<()> {
-        self.flush_batch_prefix(self.batch.len())
+    fn flush_batch(&mut self, io: &dyn StorageIo) -> Result<()> {
+        self.flush_batch_prefix(io, self.batch.len())
     }
+}
+
+/// One guarded physical write: consults the [`StorageIo`] seam before
+/// the real `write_all`, applying the bounded transient-retry policy.
+///
+/// * A **transient** fault leaves the file untouched, so the write is
+///   retried in place (short exponential backoff) up to
+///   [`WRITE_RETRY_LIMIT`] times; exhaustion surfaces a loud error the
+///   caller must treat like any failed write (poison).
+/// * A **torn** fault is made physically real: previously buffered
+///   frames are flushed first (they were acknowledged and must land
+///   *before* the tear), then the fault's prefix of `bytes` is written
+///   straight to the file, and an error is returned — the segment now
+///   ends mid-frame exactly as a crash during `write(2)` would leave
+///   it, and only recovery's torn-tail healing may touch it again.
+fn write_guarded(
+    file: &mut BufWriter<File>,
+    counters: &mut WriteFaultCounters,
+    io: &dyn StorageIo,
+    bytes: &[u8],
+) -> std::io::Result<()> {
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let mut transients = 0u32;
+    loop {
+        match io.write_fault(bytes.len()) {
+            None => break,
+            Some(WriteFault::Transient) => {
+                transients += 1;
+                if transients > WRITE_RETRY_LIMIT {
+                    counters.transients_fatal += transients as u64;
+                    return Err(injected_error(
+                        INJECTED_TRANSIENT_EIO,
+                        format!("persisted through {transients} write attempts"),
+                    ));
+                }
+                std::thread::sleep(std::time::Duration::from_micros(
+                    WRITE_RETRY_BACKOFF_US << (transients - 1).min(6),
+                ));
+            }
+            Some(WriteFault::Torn { keep }) => {
+                // Acknowledged frames buffered ahead of this write land
+                // first, then the tear: a best-effort flush whose own
+                // failure changes nothing (the log poisons either way).
+                let _ = file.flush();
+                let keep = keep.min(bytes.len());
+                if keep > 0 {
+                    // `&File` implements `Write`, so the partial frame
+                    // bypasses the BufWriter and lands immediately.
+                    let mut raw: &File = file.get_ref();
+                    let _ = raw.write_all(&bytes[..keep]);
+                }
+                return Err(injected_error(
+                    INJECTED_TORN_WRITE,
+                    format!("{keep} of {} bytes landed", bytes.len()),
+                ));
+            }
+        }
+    }
+    if transients > 0 {
+        counters.transients_absorbed += transients as u64;
+        counters.writes_recovered += 1;
+    }
+    file.write_all(bytes)
+}
+
+/// One guarded fsync: an injected fault fails the sync without calling
+/// it — per fsyncgate semantics the durability of earlier writes is
+/// then unknown, and the call site decides whether that poisons (mid-
+/// append segment roll) or merely fails the operation loudly (an
+/// explicit flush or checkpoint sync, where nothing was torn and the
+/// caller simply did not get its durability point).
+fn sync_guarded(io: &dyn StorageIo, file: &File) -> std::io::Result<()> {
+    if io.fsync_fault() {
+        return Err(injected_error(INJECTED_FSYNC_FAILURE, "sync_all failed".into()));
+    }
+    file.sync_all()
 }
 
 /// A durable, append-only LifeLog event store over a directory of
@@ -163,6 +281,7 @@ impl Writer {
 pub struct EventLog {
     dir: PathBuf,
     config: LogConfig,
+    io: Arc<dyn StorageIo>,
     writer: Mutex<Writer>,
 }
 
@@ -223,6 +342,20 @@ impl EventLog {
     /// mistake it for corruption. A checksum-invalid frame earlier in
     /// the segment is a loud [`SpaError::Corrupt`] instead.
     pub fn open(dir: impl Into<PathBuf>, config: LogConfig) -> Result<Self> {
+        Self::open_with_io(dir, config, real_io())
+    }
+
+    /// [`EventLog::open`] with an explicit [`StorageIo`] seam: every
+    /// physical write and fsync this log performs consults `io` first.
+    /// Production callers use [`EventLog::open`] (a no-op seam); chaos
+    /// harnesses pass a [`crate::fault::FaultPlan`]. The open itself
+    /// (tail healing) always uses real I/O — injection starts with the
+    /// first append.
+    pub fn open_with_io(
+        dir: impl Into<PathBuf>,
+        config: LogConfig,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let segments = list_segments(&dir)?;
@@ -235,11 +368,13 @@ impl EventLog {
         Ok(Self {
             dir,
             config,
+            io,
             writer: Mutex::new(Writer {
                 file: BufWriter::new(file),
                 segment_index,
                 segment_bytes: existing_bytes,
                 events_appended: 0,
+                io_counters: WriteFaultCounters::default(),
                 scratch: BytesMut::with_capacity(64),
                 batch: BytesMut::new(),
                 poisoned: false,
@@ -274,7 +409,8 @@ impl EventLog {
                 return Err(e);
             }
         }
-        if let Err(e) = w.file.write_all(&w.scratch) {
+        if let Err(e) = write_guarded(&mut w.file, &mut w.io_counters, self.io.as_ref(), &w.scratch)
+        {
             w.poisoned = true;
             return Err(e.into());
         }
@@ -311,7 +447,7 @@ impl EventLog {
             encode_frame(event, &mut w.batch);
             let frame_len = (w.batch.len() - start) as u64;
             if w.segment_bytes > 0 && w.segment_bytes + frame_len > self.config.segment_bytes {
-                w.flush_batch_prefix(start)?;
+                w.flush_batch_prefix(self.io.as_ref(), start)?;
                 if let Err(e) = self.roll_locked(w) {
                     w.batch.clear();
                     w.poisoned = true;
@@ -322,7 +458,7 @@ impl EventLog {
             w.events_appended += 1;
             appended += 1;
         }
-        w.flush_batch()?;
+        w.flush_batch(self.io.as_ref())?;
         Ok(appended)
     }
 
@@ -375,7 +511,12 @@ impl EventLog {
             let len = u32::from_le_bytes(frames[cursor..cursor + 4].try_into().expect("4 bytes"));
             let frame_len = 8 + len as u64;
             if w.segment_bytes > 0 && w.segment_bytes + frame_len > self.config.segment_bytes {
-                if let Err(e) = w.file.write_all(&frames[written..cursor]) {
+                if let Err(e) = write_guarded(
+                    &mut w.file,
+                    &mut w.io_counters,
+                    self.io.as_ref(),
+                    &frames[written..cursor],
+                ) {
                     w.poisoned = true;
                     return Err(e.into());
                 }
@@ -389,7 +530,9 @@ impl EventLog {
             w.events_appended += 1;
             cursor += frame_len as usize;
         }
-        if let Err(e) = w.file.write_all(&frames[written..]) {
+        if let Err(e) =
+            write_guarded(&mut w.file, &mut w.io_counters, self.io.as_ref(), &frames[written..])
+        {
             w.poisoned = true;
             return Err(e.into());
         }
@@ -399,7 +542,7 @@ impl EventLog {
     fn roll_locked(&self, w: &mut Writer) -> Result<()> {
         w.file.flush()?;
         if self.config.fsync {
-            w.file.get_ref().sync_all()?;
+            sync_guarded(self.io.as_ref(), w.file.get_ref())?;
         }
         w.segment_index += 1;
         let file = OpenOptions::new()
@@ -411,14 +554,23 @@ impl EventLog {
         Ok(())
     }
 
-    /// Flushes buffered appends to the OS (and disk when `fsync`).
+    /// Flushes buffered appends to the OS (and disk when `fsync`). A
+    /// failed (or injected) fsync here is loud but does **not** poison:
+    /// no frame was torn — the caller merely did not get its durability
+    /// point and may retry the flush.
     pub fn flush(&self) -> Result<()> {
         let mut w = self.writer.lock();
         w.file.flush()?;
         if self.config.fsync {
-            w.file.get_ref().sync_all()?;
+            sync_guarded(self.io.as_ref(), w.file.get_ref())?;
         }
         Ok(())
+    }
+
+    /// Write-path fault accounting for this log (see
+    /// [`WriteFaultCounters`]); zeroes under production I/O.
+    pub fn write_fault_counters(&self) -> WriteFaultCounters {
+        self.writer.lock().io_counters
     }
 
     /// Flushes, then returns the writer's current position — the frame
@@ -430,7 +582,7 @@ impl EventLog {
         let mut w = self.writer.lock();
         w.file.flush()?;
         if self.config.fsync {
-            w.file.get_ref().sync_all()?;
+            sync_guarded(self.io.as_ref(), w.file.get_ref())?;
         }
         Ok(LogPosition { segment: w.segment_index, offset: w.segment_bytes })
     }
@@ -461,11 +613,11 @@ impl EventLog {
     /// imposing per-append fsync costs.
     pub fn sync_up_to(&self, position: LogPosition) -> Result<()> {
         self.flush()?;
-        OpenOptions::new()
+        let file = OpenOptions::new()
             .read(true)
             .write(true)
-            .open(segment_path(&self.dir, position.segment))?
-            .sync_all()?;
+            .open(segment_path(&self.dir, position.segment))?;
+        sync_guarded(self.io.as_ref(), &file)?;
         Ok(())
     }
 
@@ -527,7 +679,13 @@ impl EventLog {
     /// torn (and where), instead of discarding that information.
     pub fn replay_report(&self) -> Result<ReplayOutcome> {
         self.flush()?;
-        Self::replay_dir_report(&self.dir)
+        let mut iter =
+            Self::replay_iter_from_with(&self.dir, LogPosition::default(), self.io.clone())?;
+        let mut events = Vec::new();
+        for event in iter.by_ref() {
+            events.push(event?);
+        }
+        Ok(ReplayOutcome { events, torn_tail: iter.torn_tail() })
     }
 
     /// Replays a log directory without an open writer.
@@ -566,6 +724,21 @@ impl EventLog {
     /// corruption: it means compaction outran the snapshot that was
     /// supposed to cover those events.
     pub fn replay_iter_from(dir: impl AsRef<Path>, from: LogPosition) -> Result<ReplayIter> {
+        Self::replay_iter_from_with(dir, from, real_io())
+    }
+
+    /// [`EventLog::replay_iter_from`] with an explicit [`StorageIo`]
+    /// seam: each segment buffer passes through
+    /// [`StorageIo::read_fault`] right after it is read, so a fault
+    /// plan can inject read-side bit rot that the CRC framing must then
+    /// surface loudly. The **final** segment is exempt (`tail = true`):
+    /// rot there is indistinguishable from a torn tail and would be
+    /// healed by silently truncating acknowledged events.
+    pub fn replay_iter_from_with(
+        dir: impl AsRef<Path>,
+        from: LogPosition,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<ReplayIter> {
         let all = list_segments(dir.as_ref())?;
         let segments: Vec<(u64, PathBuf)> =
             all.into_iter().filter(|&(i, _)| i >= from.segment).collect();
@@ -591,6 +764,7 @@ impl EventLog {
             loaded: false,
             torn_tail: None,
             failed: false,
+            io,
         })
     }
 
@@ -642,6 +816,9 @@ pub struct ReplayIter {
     loaded: bool,
     torn_tail: Option<TornTail>,
     failed: bool,
+    /// Fault seam consulted on every segment read (no-op in
+    /// production); see [`EventLog::replay_iter_from_with`].
+    io: Arc<dyn StorageIo>,
 }
 
 impl ReplayIter {
@@ -695,6 +872,11 @@ impl Iterator for ReplayIter {
                         e.into()
                     }));
                 }
+                // read-side rot injection point: never on the final
+                // segment, where a flip is indistinguishable from a
+                // torn tail (see replay_iter_from_with)
+                let tail = self.seg_pos + 1 == self.segments.len();
+                self.io.read_fault(&mut self.buf, tail);
                 self.base = base;
                 self.offset = 0;
                 self.loaded = true;

@@ -23,10 +23,14 @@
 //!   …
 //! ```
 
-use crate::log::{CompactionStats, EventLog, LogConfig, LogPosition, LogStats, ReplayOutcome};
+use crate::fault::{real_io, StorageIo};
+use crate::log::{
+    CompactionStats, EventLog, LogConfig, LogPosition, LogStats, ReplayOutcome, WriteFaultCounters,
+};
 use spa_types::{LifeLogEvent, Result, ShardId, SpaError};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MANIFEST: &str = "shards.manifest";
 
@@ -120,6 +124,17 @@ impl ShardedEventLog {
     /// replaying events under a different partitioning would silently
     /// scramble per-shard streams, so a mismatch is a loud error.
     pub fn open(root: impl Into<PathBuf>, shards: usize, config: LogConfig) -> Result<Self> {
+        Self::open_with_io(root, shards, config, real_io())
+    }
+
+    /// [`ShardedEventLog::open`] with an explicit [`StorageIo`] seam,
+    /// shared by every shard's log (see [`EventLog::open_with_io`]).
+    pub fn open_with_io(
+        root: impl Into<PathBuf>,
+        shards: usize,
+        config: LogConfig,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<Self> {
         if shards == 0 {
             return Err(SpaError::Invalid("shard count must be at least 1".into()));
         }
@@ -138,7 +153,7 @@ impl ShardedEventLog {
             fs::write(&manifest, format!("{shards}\n"))?;
         }
         let logs = (0..shards)
-            .map(|i| EventLog::open(shard_dir(&root, i), config.clone()))
+            .map(|i| EventLog::open_with_io(shard_dir(&root, i), config.clone(), io.clone()))
             .collect::<Result<Vec<_>>>()?;
         Ok(Self { root, logs })
     }
@@ -147,9 +162,19 @@ impl ShardedEventLog {
     /// manifest (the crash-recovery entry point: the recovering process
     /// does not need to know the original configuration).
     pub fn open_existing(root: impl Into<PathBuf>, config: LogConfig) -> Result<Self> {
+        Self::open_existing_with_io(root, config, real_io())
+    }
+
+    /// [`ShardedEventLog::open_existing`] with an explicit
+    /// [`StorageIo`] seam.
+    pub fn open_existing_with_io(
+        root: impl Into<PathBuf>,
+        config: LogConfig,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<Self> {
         let root = root.into();
         let shards = read_manifest(&root)?;
-        Self::open(root, shards, config)
+        Self::open_with_io(root, shards, config, io)
     }
 
     /// Number of shards.
@@ -193,6 +218,17 @@ impl ShardedEventLog {
             log.flush()?;
         }
         Ok(())
+    }
+
+    /// Aggregate write-path fault accounting over all shards (see
+    /// [`EventLog::write_fault_counters`]); zeroes under production
+    /// I/O.
+    pub fn write_fault_counters(&self) -> WriteFaultCounters {
+        let mut total = WriteFaultCounters::default();
+        for log in &self.logs {
+            total.accumulate(log.write_fault_counters());
+        }
+        total
     }
 
     /// Aggregate statistics over all shards.

@@ -44,11 +44,16 @@
 //! checkpoint.
 
 use crate::codec::crc32;
+use crate::fault::{
+    injected_error, real_io, StorageIo, WriteFault, INJECTED_FSYNC_FAILURE, INJECTED_TORN_WRITE,
+    INJECTED_TRANSIENT_EIO,
+};
 use crate::log::LogPosition;
 use spa_types::{Result, SpaError};
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"SPASNAP1";
 
@@ -58,8 +63,9 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 /// Suffix of finished snapshot files.
 pub const SNAPSHOT_EXT: &str = "snap";
 
-/// Suffix of in-flight temporary files (ignored by discovery).
-const TMP_EXT: &str = "snap-tmp";
+/// Suffix of in-flight temporary files (ignored by discovery, removed
+/// loudly by recovery's [`remove_stale_temps`]).
+pub const TMP_EXT: &str = "snap-tmp";
 
 /// Makes a completed rename durable by fsyncing its directory. A POSIX
 /// notion — on non-unix targets the rename is left to the OS's own
@@ -83,9 +89,48 @@ pub(crate) fn sync_dir(dir: &Path) -> std::io::Result<()> {
 /// the shard manifest alike, so the sequence has exactly one
 /// implementation to audit.
 pub(crate) fn write_file_atomic(path: &Path, tmp: &Path, bytes: &[u8]) -> Result<()> {
+    write_file_atomic_with(path, tmp, bytes, &crate::fault::RealIo)
+}
+
+/// [`write_file_atomic`] with a [`StorageIo`] seam. Unlike the WAL
+/// append path there is no retry policy here: any injected fault fails
+/// the whole atomic write loudly (the final `path` is never touched —
+/// the rename only happens after a clean write + fsync) and the
+/// operation as a whole (a checkpoint) simply did not commit. A torn
+/// or transient fault leaves the partial/empty **temp** file behind,
+/// exactly like a crash mid-checkpoint — recovery's
+/// [`remove_stale_temps`] sweeps those.
+pub(crate) fn write_file_atomic_with(
+    path: &Path,
+    tmp: &Path,
+    bytes: &[u8],
+    io: &dyn StorageIo,
+) -> Result<()> {
     {
         let mut file = OpenOptions::new().write(true).create(true).truncate(true).open(tmp)?;
-        file.write_all(bytes)?;
+        match io.write_fault(bytes.len()) {
+            None => file.write_all(bytes)?,
+            Some(WriteFault::Transient) => {
+                return Err(SpaError::Io(injected_error(
+                    INJECTED_TRANSIENT_EIO,
+                    format!("writing {}", tmp.display()),
+                )))
+            }
+            Some(WriteFault::Torn { keep }) => {
+                let keep = keep.min(bytes.len());
+                file.write_all(&bytes[..keep])?;
+                return Err(SpaError::Io(injected_error(
+                    INJECTED_TORN_WRITE,
+                    format!("{keep} of {} bytes landed in {}", bytes.len(), tmp.display()),
+                )));
+            }
+        }
+        if io.fsync_fault() {
+            return Err(SpaError::Io(injected_error(
+                INJECTED_FSYNC_FAILURE,
+                format!("syncing {}", tmp.display()),
+            )));
+        }
         file.sync_all()?;
     }
     fs::rename(tmp, path)?;
@@ -94,6 +139,33 @@ pub(crate) fn write_file_atomic(path: &Path, tmp: &Path, bytes: &[u8]) -> Result
     })?;
     sync_dir(dir)?;
     Ok(())
+}
+
+/// Removes stale temporary files (`*.snap-tmp` and `*.tmp`) left in
+/// `dir` by a crash mid-atomic-write, returning the removed paths so
+/// the caller can surface the cleanup loudly. Finished snapshots,
+/// manifests and subdirectories are never touched; a missing `dir` is
+/// an empty sweep.
+pub fn remove_stale_temps(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>> {
+    let mut removed = Vec::new();
+    let entries = match fs::read_dir(dir.as_ref()) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(removed),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if path.is_dir() {
+            continue;
+        }
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if name.ends_with(&format!(".{TMP_EXT}")) || name.ends_with(".tmp") {
+            fs::remove_file(&path)?;
+            removed.push(path);
+        }
+    }
+    removed.sort();
+    Ok(removed)
 }
 
 /// Bounds-checked cursor advance shared by the binary state codecs:
@@ -148,6 +220,14 @@ impl SnapshotBuilder {
     /// the file size. An existing file at `path` is replaced atomically;
     /// a crash mid-write leaves it untouched.
     pub fn write_atomic(&self, path: impl AsRef<Path>) -> Result<u64> {
+        self.write_atomic_with(path, real_io().as_ref())
+    }
+
+    /// [`SnapshotBuilder::write_atomic`] with a [`StorageIo`] seam: an
+    /// injected fault fails the checkpoint loudly before the rename, so
+    /// the discoverable snapshot set is untouched (see
+    /// [`write_file_atomic_with`] for what each fault leaves behind).
+    pub fn write_atomic_with(&self, path: impl AsRef<Path>, io: &dyn StorageIo) -> Result<u64> {
         let path = path.as_ref();
         let dir = path.parent().ok_or_else(|| {
             SpaError::Invalid(format!("snapshot path {} has no parent directory", path.display()))
@@ -158,7 +238,7 @@ impl SnapshotBuilder {
         bytes.extend_from_slice(MAGIC);
         bytes.extend_from_slice(&body);
         bytes.extend_from_slice(&crc32(&body).to_le_bytes());
-        write_file_atomic(path, &path.with_extension(TMP_EXT), &bytes)?;
+        write_file_atomic_with(path, &path.with_extension(TMP_EXT), &bytes, io)?;
         Ok(bytes.len() as u64)
     }
 }
@@ -175,9 +255,19 @@ impl Snapshot {
     /// magic, bad CRC, unknown version, truncated or trailing bytes,
     /// section lengths beyond the buffer — is [`SpaError::Corrupt`].
     pub fn read(path: impl AsRef<Path>) -> Result<Self> {
+        Self::read_with(path, real_io())
+    }
+
+    /// [`Snapshot::read`] with a [`StorageIo`] seam: the freshly read
+    /// buffer passes through [`StorageIo::read_fault`] before decoding
+    /// (`tail = false` — a snapshot is not a log tail), so injected bit
+    /// rot must be caught by the container CRC and surfaced as a loud
+    /// [`SpaError::Corrupt`].
+    pub fn read_with(path: impl AsRef<Path>, io: Arc<dyn StorageIo>) -> Result<Self> {
         let path = path.as_ref();
         let mut bytes = Vec::new();
         File::open(path)?.read_to_end(&mut bytes)?;
+        io.read_fault(&mut bytes, false);
         Self::decode(&bytes)
             .map_err(|e| SpaError::Corrupt(format!("snapshot {}: {e}", path.display())))
     }

@@ -22,7 +22,12 @@
 //!   a user transacts given the message variant they received, used as
 //!   ground truth by the campaign engine;
 //! * [`physio`] — the wearIT@work future-work substrate (§7):
-//!   physiological signal windows mapped to emotional context.
+//!   physiological signal windows mapped to emotional context;
+//! * [`scenario`] — declarative lifecycle scenarios ("production
+//!   weather"): Zipf-skewed hot users, arriving/departing cohorts,
+//!   valence drift and overlapping campaign flights, expressed as
+//!   [`scenario::ScenarioSpec`] data and executed deterministically by
+//!   [`scenario::ScenarioEngine`] — the traffic source for chaos soaks.
 //!
 //! Everything is deterministic for a given seed.
 
@@ -34,8 +39,12 @@ pub mod eit;
 pub mod physio;
 pub mod population;
 pub mod response;
+pub mod scenario;
 pub mod weblog;
 
 pub use catalog::{ActionCatalog, ActionKind, Course, CourseCatalog};
 pub use population::{LatentUser, Population, PopulationConfig};
 pub use response::{ResponseConfig, ResponseModel};
+pub use scenario::{
+    CampaignPhase, CohortSpec, ScenarioEngine, ScenarioSpec, TickBatch, ValenceDrift,
+};

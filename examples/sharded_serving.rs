@@ -159,15 +159,9 @@ fn main() {
     let recover_started = std::time::Instant::now();
     let (recovered, report) =
         ShardedSpa::recover(&courses, SpaConfig::default(), &campaigns, &root, log_config).unwrap();
-    println!(
-        "recovered in {:.1?}: {} shard(s) restored from snapshot, {} tail events replayed \
-         ({} torn tail(s) dropped), selection restored: {}",
-        recover_started.elapsed(),
-        report.shards_from_snapshot(),
-        report.total_events(),
-        report.torn_shards(),
-        report.selection_restored,
-    );
+    // the report's Display is the operator-facing summary: shards from
+    // snapshot vs replay, replay volume, and every healed anomaly
+    println!("recovered in {:.1?}:\n{report}", recover_started.elapsed());
     assert!(report.selection_restored, "checkpointed weights must come back");
     let ranking_after = recovered.rank(&users).unwrap();
     let matching = ranking_before
