@@ -71,7 +71,7 @@ fn bench_score(c: &mut Criterion) {
 
         let mut single = Spa::new(&courses, SpaConfig::default());
         single.ingest_batch(stream.iter()).unwrap();
-        let mut sharded = ShardedSpa::new(&courses, SpaConfig::default(), SHARDS).unwrap();
+        let sharded = ShardedSpa::new(&courses, SpaConfig::default(), SHARDS).unwrap();
         sharded.ingest_batch(stream.iter()).unwrap();
 
         // one labelled example per 10th user, split by topic slot

@@ -1,0 +1,338 @@
+//! Open-loop serving-latency harness.
+//!
+//! Boots the TCP server over a WAL-backed [`ShardedSpa`] and drives a
+//! mixed read/write workload at a **target arrival rate**, not as fast
+//! as responses come back. The distinction is the whole methodology:
+//! a closed-loop driver (send, wait, send) slows itself down whenever
+//! the server stalls, silently deleting the queueing delay real
+//! arrivals would have suffered — the "coordinated omission" artifact.
+//! Here every request has a *scheduled* arrival time computed before
+//! the run (Poisson by default, fixed-interval on request), latency is
+//! measured from that scheduled arrival to completion, and a stalled
+//! server therefore pays for every request that piled up behind the
+//! stall.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `SPA_SERVE_QPS`      — target arrivals/second (default 800)
+//! * `SPA_SERVE_SECONDS`  — run length (default 4)
+//! * `SPA_SERVE_WORKERS`  — client connections (default 4)
+//! * `SPA_SERVE_SHARDS`   — platform shards (default 3)
+//! * `SPA_SERVE_ARRIVALS` — `poisson` (default) or `fixed`
+//! * `SPA_SERVE_SEED`     — workload seed (default 2026)
+//! * `SPA_BENCH_OUT`      — output path (default
+//!   `BENCH_<today>_serving.json`)
+
+use spa_core::platform::SpaConfig;
+use spa_core::{ApiRequest, ApiResponse, ShardedSpa, SpaApi};
+use spa_server::{serve, SpaClient};
+use spa_store::fault::SplitMix64;
+use spa_store::log::LogConfig;
+use spa_synth::catalog::CourseCatalog;
+use spa_types::{
+    CampaignId, CourseId, EmotionalAttribute, EventKind, LifeLogEvent, Timestamp, UserId, Valence,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+const N_USERS: u32 = 400;
+const SCORE_AUDIENCE: usize = 16;
+const RANK_AUDIENCE: usize = 64;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Request classes in the mix, with their traffic shares.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Class {
+    Score,
+    RankTopK,
+    Ingest,
+    ObserveOutcome,
+}
+
+impl Class {
+    const ALL: [Class; 4] = [Class::Score, Class::RankTopK, Class::Ingest, Class::ObserveOutcome];
+
+    fn name(self) -> &'static str {
+        match self {
+            Class::Score => "score",
+            Class::RankTopK => "rank_top_k",
+            Class::Ingest => "ingest",
+            Class::ObserveOutcome => "observe_outcome",
+        }
+    }
+
+    /// 70% score, 10% rank, 15% ingest, 5% outcomes — read-heavy like
+    /// a serving tier, write-present like a live platform.
+    fn pick(rng: &mut SplitMix64) -> Class {
+        match rng.gen_range(100) {
+            0..=69 => Class::Score,
+            70..=79 => Class::RankTopK,
+            80..=94 => Class::Ingest,
+            _ => Class::ObserveOutcome,
+        }
+    }
+}
+
+fn make_request(class: Class, rng: &mut SplitMix64, step: usize) -> ApiRequest {
+    let user = |rng: &mut SplitMix64| UserId::new(rng.gen_range(N_USERS as u64) as u32);
+    match class {
+        Class::Score => {
+            ApiRequest::Score { users: (0..SCORE_AUDIENCE).map(|_| user(rng)).collect() }
+        }
+        Class::RankTopK => {
+            ApiRequest::RankTopK { users: (0..RANK_AUDIENCE).map(|_| user(rng)).collect(), k: 8 }
+        }
+        Class::Ingest => ApiRequest::Ingest {
+            event: LifeLogEvent::new(
+                user(rng),
+                Timestamp::from_millis(step as u64),
+                EventKind::Transaction {
+                    course: CourseId::new(rng.gen_range(25) as u32),
+                    campaign: Some(CampaignId::new(1)),
+                },
+            ),
+        },
+        Class::ObserveOutcome => {
+            ApiRequest::ObserveOutcome { user: user(rng), responded: rng.gen_range(2) == 0 }
+        }
+    }
+}
+
+/// Waits until `target`, sleeping the bulk and spinning the last
+/// stretch so OS sleep granularity does not pollute the tail.
+fn wait_until(target: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= target {
+            return;
+        }
+        let remaining = target - now;
+        if remaining > Duration::from_micros(800) {
+            std::thread::sleep(remaining - Duration::from_micros(500));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Today's date as `YYYY-MM-DD` (days-from-epoch → civil date).
+fn today() -> String {
+    let days = SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default().as_secs() / 86_400;
+    let mut z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    z = z.rem_euclid(146_097);
+    let yoe = (z - z / 1460 + z / 36_524 - z / 146_096) / 365;
+    let doy = z - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = era * 400 + yoe + i64::from(month <= 2);
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+struct ClassDigest {
+    name: &'static str,
+    count: usize,
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    p999: u64,
+    max: u64,
+}
+
+fn digest(name: &'static str, mut latencies: Vec<u64>) -> ClassDigest {
+    latencies.sort_unstable();
+    ClassDigest {
+        name,
+        count: latencies.len(),
+        p50: percentile(&latencies, 50.0),
+        p90: percentile(&latencies, 90.0),
+        p99: percentile(&latencies, 99.0),
+        p999: percentile(&latencies, 99.9),
+        max: latencies.last().copied().unwrap_or(0),
+    }
+}
+
+fn main() {
+    let qps = env_u64("SPA_SERVE_QPS", 800).max(1);
+    let seconds = env_u64("SPA_SERVE_SECONDS", 4).max(1);
+    let workers = env_u64("SPA_SERVE_WORKERS", 4).max(1) as usize;
+    let shards = env_u64("SPA_SERVE_SHARDS", 3).max(1) as usize;
+    let seed = env_u64("SPA_SERVE_SEED", 2026);
+    let arrivals_mode = std::env::var("SPA_SERVE_ARRIVALS").unwrap_or_else(|_| "poisson".into());
+    let out_path = std::env::var("SPA_BENCH_OUT")
+        .unwrap_or_else(|_| format!("BENCH_{}_serving.json", today()));
+
+    // ---- platform: WAL-backed, seeded, trained ----
+    let root = std::env::temp_dir().join(format!("spa-serving-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let courses = CourseCatalog::generate(25, 5, 3).unwrap();
+    let spa =
+        ShardedSpa::with_log(&courses, SpaConfig::default(), shards, &root, LogConfig::default())
+            .unwrap();
+    spa.register_campaign(CampaignId::new(1), &[EmotionalAttribute::Hopeful]);
+    let mut rng = SplitMix64::new(seed);
+    for step in 0..(N_USERS as usize * 3) {
+        // every user gets exactly three answers — the outcome mix may
+        // draw any of them
+        let user = UserId::new((step % N_USERS as usize) as u32);
+        let question = spa.next_eit_question(user).id;
+        spa.ingest(&LifeLogEvent::new(
+            user,
+            Timestamp::from_millis(step as u64),
+            EventKind::EitAnswer {
+                question,
+                answer: Valence::new((rng.gen_range(2000) as f64 / 1000.0) - 1.0),
+            },
+        ))
+        .unwrap();
+    }
+    let mut data = spa_ml::Dataset::new(75);
+    for raw in 0..N_USERS {
+        if let Ok(row) = spa.advice_row(UserId::new(raw)) {
+            data.push(&row, if row.get(65) > 0.4 { 1.0 } else { -1.0 }).unwrap();
+        }
+    }
+    spa.train_selection(&data).unwrap();
+    let api = SpaApi::new(Arc::new(spa));
+    let handle = serve(Arc::new(api), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+
+    // ---- schedule: arrivals precomputed before the run ----
+    let total = (qps * seconds) as usize;
+    let mean_gap_ns = 1_000_000_000.0 / qps as f64;
+    let mut schedule_rng = SplitMix64::new(seed ^ 0xA221_7A15);
+    let mut offsets_ns = Vec::with_capacity(total);
+    let mut clock = 0.0f64;
+    for _ in 0..total {
+        let gap = if arrivals_mode == "fixed" {
+            mean_gap_ns
+        } else {
+            // exponential inter-arrival → Poisson arrivals; u ∈ (0, 1)
+            let u = (schedule_rng.gen_range(1 << 53) as f64 + 0.5) / (1u64 << 53) as f64;
+            -mean_gap_ns * (1.0 - u).ln()
+        };
+        clock += gap;
+        offsets_ns.push(clock as u64);
+    }
+    let mut workload_rng = SplitMix64::new(seed ^ 0x09E4_100D);
+    let requests: Vec<(Class, ApiRequest)> = (0..total)
+        .map(|step| {
+            let class = Class::pick(&mut workload_rng);
+            (class, make_request(class, &mut workload_rng, step))
+        })
+        .collect();
+
+    // ---- open-loop drive: workers own disjoint request slices ----
+    let t0 = Instant::now() + Duration::from_millis(300);
+    let worker_results: Vec<Vec<(Class, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let my: Vec<(u64, &(Class, ApiRequest))> = offsets_ns
+                    .iter()
+                    .zip(requests.iter())
+                    .skip(w)
+                    .step_by(workers)
+                    .map(|(&t, r)| (t, r))
+                    .collect();
+                scope.spawn(move || {
+                    let mut client = SpaClient::connect(addr).expect("connect");
+                    let mut measured = Vec::with_capacity(my.len());
+                    for (offset, (class, request)) in my {
+                        let scheduled = t0 + Duration::from_nanos(offset);
+                        wait_until(scheduled);
+                        let response = client.call(request).expect("serving call failed");
+                        if let ApiResponse::Error { message } = &response {
+                            panic!("server returned an error for {class:?}: {message}");
+                        }
+                        let latency = Instant::now().saturating_duration_since(scheduled);
+                        measured.push((*class, latency.as_nanos() as u64));
+                    }
+                    measured
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let wall = t0.elapsed(); // from the first scheduled arrival's epoch
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+
+    // ---- digest ----
+    let mut by_class: Vec<Vec<u64>> = vec![Vec::new(); Class::ALL.len()];
+    let mut all = Vec::with_capacity(total);
+    for (class, latency) in worker_results.into_iter().flatten() {
+        by_class[Class::ALL.iter().position(|&c| c == class).unwrap()].push(latency);
+        all.push(latency);
+    }
+    let overall = digest("overall", all);
+    let digests: Vec<ClassDigest> = Class::ALL
+        .iter()
+        .zip(by_class)
+        .map(|(&class, latencies)| digest(class.name(), latencies))
+        .collect();
+    let achieved_qps = total as f64 / wall.as_secs_f64();
+
+    let mut results = String::new();
+    for d in digests.iter().chain(std::iter::once(&overall)) {
+        results.push_str(&format!(
+            "    {{\"class\": \"{}\", \"requests\": {}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"max_us\": {:.1}}},\n",
+            d.name,
+            d.count,
+            d.p50 as f64 / 1000.0,
+            d.p90 as f64 / 1000.0,
+            d.p99 as f64 / 1000.0,
+            d.p999 as f64 / 1000.0,
+            d.max as f64 / 1000.0,
+        ));
+    }
+    results.pop();
+    results.pop(); // trailing ",\n"
+    let json = format!(
+        "{{\n  \"recorded\": \"{date}\",\n  \"commit_context\": \"TCP serving layer: SpaApi \
+         facade + length-prefixed/CRC binary protocol, open-loop latency\",\n  \"methodology\": \
+         \"open-loop: arrivals scheduled before the run ({mode}, target {qps}/s for {seconds}s); \
+         latency measured from SCHEDULED arrival to completion, so server stalls pay for every \
+         request queued behind them (no coordinated omission). Mix: 70% score({score_n} users), \
+         10% rank_top_k({rank_n} users, k=8), 15% ingest, 5% observe_outcome. {workers} client \
+         connections, one in-flight request each; WAL-backed {shards}-shard platform, loopback \
+         TCP, TCP_NODELAY.\",\n  \"command\": \"cargo run --release -p spa-bench --bin \
+         serving_latency\",\n  \"profile\": \"release\",\n  \"config\": {{\"target_qps\": {qps}, \
+         \"seconds\": {seconds}, \"workers\": {workers}, \"shards\": {shards}, \"arrivals\": \
+         \"{mode}\", \"seed\": {seed}, \"users\": {users}}},\n  \"achieved_qps\": \
+         {achieved:.1},\n  \"results_us\": [\n{results}\n  ]\n}}\n",
+        date = today(),
+        mode = arrivals_mode,
+        qps = qps,
+        seconds = seconds,
+        workers = workers,
+        shards = shards,
+        seed = seed,
+        users = N_USERS,
+        score_n = SCORE_AUDIENCE,
+        rank_n = RANK_AUDIENCE,
+        achieved = achieved_qps,
+        results = results,
+    );
+    std::fs::write(&out_path, &json).expect("write bench output");
+    eprintln!(
+        "[serving_latency] {total} requests at target {qps}/s ({achieved_qps:.0}/s achieved), \
+         p50 {:.0}us p99 {:.0}us p999 {:.0}us max {:.1}ms -> {out_path}",
+        overall.p50 as f64 / 1000.0,
+        overall.p99 as f64 / 1000.0,
+        overall.p999 as f64 / 1000.0,
+        overall.max as f64 / 1_000_000.0,
+    );
+}

@@ -1,0 +1,316 @@
+//! Transport-neutral serving facade over [`ShardedSpa`].
+//!
+//! Every operation a serving deployment needs — scoring, ranking,
+//! ingest, outcome observation, stats, checkpoint/compaction and the
+//! recovery report — behind `&self` calls on one shareable object, so
+//! any transport (an in-process harness, the vendored TCP server in
+//! `spa-server`, a test driving both at once) dispatches the *same*
+//! request values through the *same* code path. The contract the
+//! serving stack is built on: a request dispatched in-process and the
+//! identical request arriving over a wire produce **bit-identical**
+//! responses, because both end here.
+//!
+//! Requests and responses are plain data ([`ApiRequest`],
+//! [`ApiResponse`]) rather than method calls, so a wire codec encodes
+//! them without consulting the platform, and errors travel as a
+//! response variant instead of poisoning the transport.
+
+use crate::preprocessor::PreprocessorStats;
+use crate::shard::{RecoveryReport, ShardedSpa};
+use spa_types::{LifeLogEvent, UserId};
+use std::sync::Arc;
+
+/// One serving request. Transport-neutral: the TCP server decodes wire
+/// frames into this, tests construct it directly, and both hand it to
+/// [`SpaApi::dispatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiRequest {
+    /// Selection-function scores for an audience (propensity ranking
+    /// input, §6). Order of `users` is preserved in the response.
+    Score {
+        /// The audience to score.
+        users: Vec<UserId>,
+    },
+    /// The `k` highest-scoring users of an audience, best first.
+    RankTopK {
+        /// The audience to rank.
+        users: Vec<UserId>,
+        /// How many top scorers to return.
+        k: u32,
+    },
+    /// One LifeLog event through the WAL-before-apply ingest path.
+    Ingest {
+        /// The event to apply.
+        event: LifeLogEvent,
+    },
+    /// A batch of LifeLog events through the pipelined batch path.
+    IngestBatch {
+        /// The events to apply, in arrival order.
+        events: Vec<LifeLogEvent>,
+    },
+    /// A campaign outcome folded into the selection function (and its
+    /// write-ahead log).
+    ObserveOutcome {
+        /// Who the campaign contacted.
+        user: UserId,
+        /// Whether they responded.
+        responded: bool,
+    },
+    /// The pre-processor's explain counters.
+    Stats,
+    /// Write a recovery checkpoint (per-shard snapshots + selection).
+    Checkpoint,
+    /// Delete log segments and snapshots a checkpoint made redundant.
+    Compact,
+    /// How this platform came up: cold, or recovered from disk (and
+    /// what recovery found).
+    RecoverStatus,
+}
+
+/// One serving response. `Error` carries the platform error's display
+/// text so a failed request is an answer, not a dropped connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiResponse {
+    /// Scores (or a ranking) as `(user, score)` pairs.
+    Scores {
+        /// `(user, score)` pairs, in request (or rank) order.
+        entries: Vec<(UserId, f64)>,
+    },
+    /// How many events the ingest applied.
+    Ingested {
+        /// Events applied (rejected events are not counted).
+        applied: u64,
+    },
+    /// The outcome was logged and folded in.
+    OutcomeRecorded,
+    /// Pre-processor explain counters.
+    Stats {
+        /// The counters.
+        stats: PreprocessorStats,
+    },
+    /// Checkpoint written.
+    Checkpointed {
+        /// Shards snapshotted.
+        shards: u32,
+        /// Total snapshot bytes written.
+        snapshot_bytes: u64,
+    },
+    /// Compaction results.
+    Compacted {
+        /// Log segment files deleted.
+        segments_deleted: u64,
+        /// Bytes those segments held.
+        bytes_reclaimed: u64,
+        /// Superseded snapshot files removed.
+        snapshots_pruned: u64,
+        /// Shards left uncompacted (snapshot failed re-validation).
+        shards_skipped: u64,
+    },
+    /// Startup provenance (see [`RecoverStatus`]).
+    RecoverStatus {
+        /// The digest.
+        status: RecoverStatus,
+    },
+    /// The request failed; the platform state the error left behind is
+    /// exactly what the same call would leave in-process.
+    Error {
+        /// The platform error's display text.
+        message: String,
+    },
+}
+
+/// Wire-friendly digest of a [`RecoveryReport`]. `recovered == false`
+/// means the platform booted cold (no recovery ran) and every other
+/// field is zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoverStatus {
+    /// Whether this platform was recovered from disk.
+    pub recovered: bool,
+    /// Events replayed and applied across all shards.
+    pub events_replayed: u64,
+    /// Logged events the platform rejected on replay.
+    pub events_skipped: u64,
+    /// Shards whose final segment ended mid-frame (healed).
+    pub torn_shards: u32,
+    /// Whether the selection function came back from its checkpoint.
+    pub selection_restored: bool,
+    /// Outcomes replayed into the selection function from its WAL tail.
+    pub selection_events_replayed: u64,
+    /// Shard snapshots that failed validation and fell back.
+    pub snapshot_fallbacks: u64,
+    /// Crashed-checkpoint temp files swept during recovery.
+    pub stale_temps_removed: u64,
+}
+
+impl From<&RecoveryReport> for RecoverStatus {
+    fn from(report: &RecoveryReport) -> Self {
+        Self {
+            recovered: true,
+            events_replayed: report.total_events(),
+            events_skipped: report.total_skipped(),
+            torn_shards: report.torn_shards() as u32,
+            selection_restored: report.selection_restored,
+            selection_events_replayed: report.selection_events_replayed,
+            snapshot_fallbacks: report.snapshot_fallbacks,
+            stale_temps_removed: report.stale_temps_removed,
+        }
+    }
+}
+
+/// The serving facade: an [`Arc<ShardedSpa>`] plus the recovery report
+/// it booted with. Clone-cheap, `Send + Sync`, `&self` throughout — a
+/// server hands one instance to every connection thread.
+#[derive(Clone)]
+pub struct SpaApi {
+    platform: Arc<ShardedSpa>,
+    recovery: Option<Arc<RecoveryReport>>,
+}
+
+impl SpaApi {
+    /// Wraps a cold-started platform (no recovery provenance).
+    pub fn new(platform: Arc<ShardedSpa>) -> Self {
+        Self { platform, recovery: None }
+    }
+
+    /// Wraps a recovered platform together with what recovery found,
+    /// so `RecoverStatus` requests can answer truthfully.
+    pub fn recovered(platform: Arc<ShardedSpa>, report: RecoveryReport) -> Self {
+        Self { platform, recovery: Some(Arc::new(report)) }
+    }
+
+    /// The underlying platform (for operations outside the serving
+    /// surface, e.g. campaign registration at deploy time).
+    pub fn platform(&self) -> &Arc<ShardedSpa> {
+        &self.platform
+    }
+
+    /// The full recovery report, when the platform was recovered.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_deref()
+    }
+
+    /// This platform's startup provenance as a wire-ready digest.
+    pub fn recover_status(&self) -> RecoverStatus {
+        self.recovery.as_deref().map(RecoverStatus::from).unwrap_or_default()
+    }
+
+    /// Executes one request. Never panics on request content; platform
+    /// errors come back as [`ApiResponse::Error`]. This is the single
+    /// funnel every transport must route through — bit-identity between
+    /// transports is a property of this function being the only
+    /// implementation.
+    pub fn dispatch(&self, request: &ApiRequest) -> ApiResponse {
+        let outcome = match request {
+            ApiRequest::Score { users } => {
+                self.platform.score_users(users).map(|entries| ApiResponse::Scores { entries })
+            }
+            ApiRequest::RankTopK { users, k } => self
+                .platform
+                .rank_top_k(users, *k as usize)
+                .map(|entries| ApiResponse::Scores { entries }),
+            ApiRequest::Ingest { event } => {
+                self.platform.ingest(event).map(|()| ApiResponse::Ingested { applied: 1 })
+            }
+            ApiRequest::IngestBatch { events } => self
+                .platform
+                .ingest_batch(events.iter())
+                .map(|applied| ApiResponse::Ingested { applied: applied as u64 }),
+            ApiRequest::ObserveOutcome { user, responded } => self
+                .platform
+                .observe_outcome(*user, *responded)
+                .map(|()| ApiResponse::OutcomeRecorded),
+            ApiRequest::Stats => Ok(ApiResponse::Stats { stats: self.platform.stats() }),
+            ApiRequest::Checkpoint => {
+                self.platform.checkpoint().map(|report| ApiResponse::Checkpointed {
+                    shards: report.positions.len() as u32,
+                    snapshot_bytes: report.snapshot_bytes,
+                })
+            }
+            ApiRequest::Compact => self.platform.compact().map(|report| ApiResponse::Compacted {
+                segments_deleted: report.segments_deleted as u64,
+                bytes_reclaimed: report.bytes_reclaimed,
+                snapshots_pruned: report.snapshots_pruned as u64,
+                shards_skipped: report.shards_skipped as u64,
+            }),
+            ApiRequest::RecoverStatus => {
+                Ok(ApiResponse::RecoverStatus { status: self.recover_status() })
+            }
+        };
+        outcome.unwrap_or_else(|error| ApiResponse::Error { message: error.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::SpaConfig;
+    use spa_synth::catalog::CourseCatalog;
+    use spa_types::{EventKind, Timestamp, Valence};
+
+    fn api() -> SpaApi {
+        let courses = CourseCatalog::generate(10, 4, 3).unwrap();
+        let platform = ShardedSpa::new(&courses, SpaConfig::default(), 2).unwrap();
+        SpaApi::new(Arc::new(platform))
+    }
+
+    fn answer(api: &SpaApi, user: UserId, value: f64) {
+        let question = api.platform().next_eit_question(user).id;
+        let event = LifeLogEvent::new(
+            user,
+            Timestamp::from_millis(0),
+            EventKind::EitAnswer { question, answer: Valence::new(value) },
+        );
+        assert_eq!(
+            api.dispatch(&ApiRequest::Ingest { event }),
+            ApiResponse::Ingested { applied: 1 }
+        );
+    }
+
+    #[test]
+    fn dispatch_matches_direct_calls_bit_for_bit() {
+        let api = api();
+        let users: Vec<UserId> = (0..6).map(UserId::new).collect();
+        for (i, &user) in users.iter().enumerate() {
+            answer(&api, user, (i as f64 / 3.0) - 1.0);
+        }
+        let mut data = spa_ml::Dataset::new(75);
+        for &user in &users {
+            let row = api.platform().advice_row(user).unwrap();
+            data.push(&row, if row.get(65) > 0.3 { 1.0 } else { -1.0 }).unwrap();
+        }
+        api.platform().train_selection(&data).unwrap();
+        let direct = api.platform().score_users(&users).unwrap();
+        match api.dispatch(&ApiRequest::Score { users: users.clone() }) {
+            ApiResponse::Scores { entries } => {
+                assert_eq!(entries.len(), direct.len());
+                for ((ua, sa), (ub, sb)) in entries.iter().zip(direct.iter()) {
+                    assert_eq!(ua, ub);
+                    assert_eq!(sa.to_bits(), sb.to_bits());
+                }
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_come_back_as_responses() {
+        let api = api();
+        let response =
+            api.dispatch(&ApiRequest::ObserveOutcome { user: UserId::new(999), responded: true });
+        match response {
+            ApiResponse::Error { message } => {
+                assert!(message.contains("999"), "error names the user: {message}")
+            }
+            other => panic!("expected an error response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cold_start_reports_no_recovery() {
+        let api = api();
+        assert_eq!(
+            api.dispatch(&ApiRequest::RecoverStatus),
+            ApiResponse::RecoverStatus { status: RecoverStatus::default() }
+        );
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod agents;
+pub mod api;
 pub mod attributes;
 pub mod batch;
 pub mod cache;
@@ -60,6 +61,7 @@ pub mod snapshot;
 pub mod sum;
 pub mod values;
 
+pub use api::{ApiRequest, ApiResponse, RecoverStatus, SpaApi};
 pub use cache::{AdviceCache, CacheStats};
 pub use eit::{EitEngine, EitQuestion, QuestionBank};
 pub use messaging::{AssignedMessage, AssignmentCase, MessageCatalog, MessagePolicy};

@@ -26,8 +26,8 @@ use spa_store::snapshot::{Snapshot, SnapshotBuilder};
 use spa_store::LogPosition;
 use spa_synth::catalog::CourseCatalog;
 use spa_types::{
-    AttributeId, AttributeSchema, CampaignId, EmotionalAttribute, LifeLogEvent, Result, SpaError,
-    UserId,
+    AttributeId, AttributeSchema, CampaignId, EmotionalAttribute, EventKind, LifeLogEvent, Result,
+    SpaError, Timestamp, UserId,
 };
 use std::path::Path;
 use std::sync::Arc;
@@ -310,17 +310,20 @@ impl Spa {
     }
 
     /// Imports socio-demographic (objective) attributes for a user —
-    /// the off-line data-selection path of §4.
+    /// the off-line data-selection path of §4. Routed through the
+    /// regular ingest pipeline as an
+    /// [`EventKind::ObjectiveImported`] record, so the mutation is one
+    /// more LifeLog event: the sharded platform write-ahead logs it and
+    /// replay re-applies it bit-identically.
     pub fn import_objective(&self, user: UserId, values: &[f64]) -> Result<()> {
         if values.len() > 40 {
             return Err(SpaError::DimensionMismatch { got: values.len(), expected: 40 });
         }
-        self.registry.with_model(user, |model, _| -> Result<()> {
-            for (i, &v) in values.iter().enumerate() {
-                model.set_observed(AttributeId::new(i as u32), v)?;
-            }
-            Ok(())
-        })
+        self.ingest(&LifeLogEvent::new(
+            user,
+            Timestamp::from_millis(0),
+            EventKind::ObjectiveImported { values: values.to_vec() },
+        ))
     }
 
     /// The next Gradual-EIT question for a user (one per contact).
@@ -511,9 +514,17 @@ impl Spa {
     }
 
     /// Punishes the appeal attributes for users who ignored a campaign
-    /// (called at campaign close-out).
+    /// (called at campaign close-out). Like
+    /// [`Spa::import_objective`], this is an ingested
+    /// [`EventKind::CampaignIgnored`] record, so the sharded platform's
+    /// WAL captures it.
     pub fn punish_ignored(&self, user: UserId, campaign: CampaignId) {
-        self.preprocessor.punish_ignored(&self.registry, user, campaign);
+        self.ingest(&LifeLogEvent::new(
+            user,
+            Timestamp::from_millis(0),
+            EventKind::CampaignIgnored { campaign },
+        ))
+        .expect("ignored-campaign punishment cannot be rejected");
     }
 
     /// Assigns the individualized message for (user, course-appeal):

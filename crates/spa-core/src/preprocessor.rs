@@ -20,9 +20,7 @@ use crate::fastmap::FastIdMap;
 use crate::sum::SumRegistry;
 use parking_lot::RwLock;
 use spa_synth::catalog::CourseCatalog;
-use spa_types::{
-    AttributeId, AttributeSchema, CampaignId, EventKind, LifeLogEvent, Result, UserId,
-};
+use spa_types::{AttributeId, AttributeSchema, CampaignId, EventKind, LifeLogEvent, Result};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters of what the pre-processor has seen.
@@ -40,6 +38,10 @@ pub struct PreprocessorStats {
     pub deliveries: u64,
     /// Message opens seen (rewards applied).
     pub opens: u64,
+    /// Objective-attribute imports applied.
+    pub objective_imports: u64,
+    /// Ignored-campaign punishments applied.
+    pub punishments: u64,
 }
 
 impl std::ops::AddAssign for PreprocessorStats {
@@ -51,6 +53,8 @@ impl std::ops::AddAssign for PreprocessorStats {
         self.eit_skips += rhs.eit_skips;
         self.deliveries += rhs.deliveries;
         self.opens += rhs.opens;
+        self.objective_imports += rhs.objective_imports;
+        self.punishments += rhs.punishments;
     }
 }
 
@@ -69,6 +73,8 @@ struct StatsCells {
     eit_skips: AtomicU64,
     deliveries: AtomicU64,
     opens: AtomicU64,
+    objective_imports: AtomicU64,
+    punishments: AtomicU64,
 }
 
 impl StatsCells {
@@ -82,6 +88,8 @@ impl StatsCells {
             (&self.eit_skips, delta.eit_skips),
             (&self.deliveries, delta.deliveries),
             (&self.opens, delta.opens),
+            (&self.objective_imports, delta.objective_imports),
+            (&self.punishments, delta.punishments),
         ] {
             if count > 0 {
                 cell.fetch_add(count, Ordering::Relaxed);
@@ -97,6 +105,8 @@ impl StatsCells {
             eit_skips: self.eit_skips.load(Ordering::Relaxed),
             deliveries: self.deliveries.load(Ordering::Relaxed),
             opens: self.opens.load(Ordering::Relaxed),
+            objective_imports: self.objective_imports.load(Ordering::Relaxed),
+            punishments: self.punishments.load(Ordering::Relaxed),
         }
     }
 
@@ -107,6 +117,8 @@ impl StatsCells {
         self.eit_skips.store(stats.eit_skips, Ordering::Relaxed);
         self.deliveries.store(stats.deliveries, Ordering::Relaxed);
         self.opens.store(stats.opens, Ordering::Relaxed);
+        self.objective_imports.store(stats.objective_imports, Ordering::Relaxed);
+        self.punishments.store(stats.punishments, Ordering::Relaxed);
     }
 }
 
@@ -209,6 +221,11 @@ impl LifeLogPreprocessor {
             EventKind::EitAnswer { question, .. } if eit.bank().question(*question).is_none() => {
                 return Err(spa_types::SpaError::NotFound(format!("question {question}")));
             }
+            EventKind::OutcomeObserved { .. } => {
+                return Err(spa_types::SpaError::Invalid(
+                    "outcome events belong to the selection log, not the shard ingest path".into(),
+                ));
+            }
             _ => {}
         }
         let mut delta = PreprocessorStats::default();
@@ -217,7 +234,9 @@ impl LifeLogPreprocessor {
         // one lock order, see LifeLogPreprocessor::apply)
         let needs_appeal = matches!(
             event.kind,
-            EventKind::Transaction { campaign: Some(_), .. } | EventKind::MessageOpened { .. }
+            EventKind::Transaction { campaign: Some(_), .. }
+                | EventKind::MessageOpened { .. }
+                | EventKind::CampaignIgnored { .. }
         );
         let outcome = if needs_appeal {
             let appeal = self.campaign_appeal.read();
@@ -330,6 +349,32 @@ impl LifeLogPreprocessor {
                 Self::reward_campaign(slot, config, appeal, *campaign);
                 Ok(())
             }
+            EventKind::ObjectiveImported { values } => {
+                if values.len() > 40 {
+                    return Err(spa_types::SpaError::DimensionMismatch {
+                        got: values.len(),
+                        expected: 40,
+                    });
+                }
+                stats.objective_imports += 1;
+                let model = slot.get_or_create();
+                for (i, &v) in values.iter().enumerate() {
+                    model.set_observed(AttributeId::new(i as u32), v)?;
+                }
+                Ok(())
+            }
+            EventKind::CampaignIgnored { campaign } => {
+                stats.punishments += 1;
+                if let Some(attrs) = appeal.get(&campaign.raw()) {
+                    slot.get_or_create()
+                        .punish(attrs, config)
+                        .expect("campaign attrs validated at registration");
+                }
+                Ok(())
+            }
+            EventKind::OutcomeObserved { .. } => Err(spa_types::SpaError::Invalid(
+                "outcome events belong to the selection log, not the shard ingest path".into(),
+            )),
         }
     }
 
@@ -374,19 +419,6 @@ impl LifeLogPreprocessor {
                 .expect("campaign attrs validated at registration");
         }
     }
-
-    /// Punishes the attributes a campaign appealed to for a user who
-    /// ignored its message (called by the campaign engine at close-out).
-    pub fn punish_ignored(&self, registry: &SumRegistry, user: UserId, campaign: CampaignId) {
-        let appeal = self.campaign_appeal.read();
-        registry.with_model_slot(user, |slot, config| {
-            if let Some(attrs) = appeal.get(&campaign.raw()) {
-                slot.get_or_create()
-                    .punish(attrs, config)
-                    .expect("campaign attrs validated at registration");
-            }
-        });
-    }
 }
 
 #[cfg(test)]
@@ -394,7 +426,7 @@ mod tests {
     use super::*;
     use crate::sum::SumConfig;
     use spa_synth::catalog::CourseCatalog;
-    use spa_types::{ActionId, CourseId, Timestamp, Valence};
+    use spa_types::{ActionId, CourseId, Timestamp, UserId, Valence};
 
     fn setup() -> (LifeLogPreprocessor, SumRegistry, EitEngine) {
         let schema = AttributeSchema::emagister();
@@ -538,8 +570,49 @@ mod tests {
         });
         pre.register_campaign(campaign, vec![attr]);
         let before = registry.get(user).unwrap().value(attr);
-        pre.punish_ignored(&registry, user, campaign);
+        pre.ingest(
+            &registry,
+            &eit,
+            &LifeLogEvent::new(user, at(0), EventKind::CampaignIgnored { campaign }),
+        )
+        .unwrap();
         assert!(registry.get(user).unwrap().value(attr) < before);
+        assert_eq!(pre.stats().punishments, 1);
+    }
+
+    #[test]
+    fn objective_imports_apply_through_the_event_path() {
+        let (pre, registry, eit) = setup();
+        let user = UserId::new(11);
+        pre.ingest(
+            &registry,
+            &eit,
+            &LifeLogEvent::new(
+                user,
+                at(0),
+                EventKind::ObjectiveImported { values: vec![0.1, 0.2, 0.3] },
+            ),
+        )
+        .unwrap();
+        let model = registry.get(user).unwrap();
+        assert!((model.value(AttributeId::new(2)) - 0.3).abs() < 1e-12);
+        assert_eq!(pre.stats().objective_imports, 1);
+        // an over-wide import is rejected loudly and counts nothing
+        let wide =
+            LifeLogEvent::new(user, at(1), EventKind::ObjectiveImported { values: vec![0.0; 41] });
+        assert!(pre.ingest(&registry, &eit, &wide).is_err());
+        assert_eq!(pre.stats().objective_imports, 1);
+    }
+
+    #[test]
+    fn outcome_events_are_rejected_by_shard_ingest() {
+        let (pre, registry, eit) = setup();
+        let e = LifeLogEvent::new(
+            UserId::new(12),
+            at(0),
+            EventKind::OutcomeObserved { responded: true, dim: 1, indices: vec![], values: vec![] },
+        );
+        assert!(matches!(pre.ingest(&registry, &eit, &e), Err(spa_types::SpaError::Invalid(_))));
     }
 
     #[test]

@@ -38,16 +38,16 @@ use crate::preprocessor::PreprocessorStats;
 use crate::selection::SelectionFunction;
 use crate::snapshot::SECTION_SELECTION;
 use parking_lot::{Mutex, RwLock};
-use spa_linalg::SparseVec;
+use spa_linalg::{RowView, SparseVec};
 use spa_ml::Dataset;
 use spa_store::fault::{real_io, StorageIo};
 use spa_store::log::LogConfig;
 use spa_store::snapshot::{self, Snapshot, SnapshotBuilder};
-use spa_store::{LogPosition, ShardedEventLog, TornTail};
+use spa_store::{EventLog, LogPosition, ShardedEventLog, TornTail};
 use spa_synth::catalog::CourseCatalog;
 use spa_types::{
-    AttributeSchema, CampaignId, EmotionalAttribute, LifeLogEvent, Result, ShardId, SpaError,
-    UserId,
+    AttributeSchema, CampaignId, EmotionalAttribute, EventKind, LifeLogEvent, Result, ShardId,
+    SpaError, Timestamp, UserId,
 };
 use std::fmt;
 use std::path::Path;
@@ -58,6 +58,15 @@ use std::sync::Arc;
 /// global). Written atomically by [`ShardedSpa::checkpoint`], loaded by
 /// [`ShardedSpa::recover`].
 const SELECTION_SNAPSHOT: &str = "selection.snap";
+
+/// Directory under the log root holding the selection function's own
+/// write-ahead log (one global log, not per-shard — outcomes mutate the
+/// one global model). Every [`ShardedSpa::observe_outcome`] appends an
+/// [`EventKind::OutcomeObserved`] frame here *before* updating the
+/// weights, carrying the advice row verbatim: Pegasos updates are
+/// order- and input-sensitive, so replay must re-feed the exact example
+/// the live update consumed.
+const SELECTION_WAL_DIR: &str = "selection-wal";
 
 /// Stable user → shard assignment: FNV-1a over the id's little-endian
 /// bytes, reduced modulo the shard count. Deterministic across runs,
@@ -135,9 +144,19 @@ pub struct RecoveryReport {
     /// that shard replayed its full history).
     pub snapshots_loaded: Vec<Option<LogPosition>>,
     /// Whether the global selection function was restored from the
-    /// checkpointed weights (`false` = no/corrupt selection snapshot;
-    /// the function is untrained and must be re-fit).
+    /// checkpointed weights (`false` = no/corrupt selection snapshot).
+    /// With no snapshot at all, the selection WAL still replays from
+    /// the start; a *corrupt* snapshot skips the replay too (folding
+    /// outcomes into unknown weights would diverge silently) and the
+    /// function must be re-fit.
     pub selection_restored: bool,
+    /// Outcome events replayed into the selection function from the
+    /// selection WAL tail behind the restored weights (zero when the
+    /// snapshot already covered the whole log, or when no outcomes were
+    /// ever observed).
+    pub selection_events_replayed: u64,
+    /// Torn tail found (and truncated) in the selection WAL, if any.
+    pub selection_torn_tail: Option<TornTail>,
     /// Shards whose registered snapshot failed to load, forcing the
     /// fallback ladder (an older snapshot or a full replay). Zero on a
     /// healthy recovery; every unit here is a detected corruption that
@@ -205,12 +224,15 @@ impl fmt::Display for RecoveryReport {
         )?;
         write!(
             f,
-            "  selection function: {}",
+            "  selection function: {}, {} outcome{} replayed{}",
             if self.selection_restored {
                 "restored bit-identical from checkpoint"
             } else {
-                "not restored (no valid snapshot; re-fit before scoring)"
-            }
+                "not restored (no valid snapshot)"
+            },
+            self.selection_events_replayed,
+            if self.selection_events_replayed == 1 { "" } else { "s" },
+            if self.selection_torn_tail.is_some() { " (torn tail healed)" } else { "" },
         )
     }
 }
@@ -234,9 +256,10 @@ pub struct CompactionReport {
     pub bytes_reclaimed: u64,
     /// Superseded snapshot files removed.
     pub snapshots_pruned: usize,
-    /// Shards whose registered snapshot failed re-validation and were
-    /// therefore left uncompacted (their history is the only copy of
-    /// the covered events until a fresh checkpoint succeeds).
+    /// Shards (or the selection log) whose registered snapshot failed
+    /// re-validation and were therefore left uncompacted (their history
+    /// is the only copy of the covered events until a fresh checkpoint
+    /// succeeds).
     pub shards_skipped: usize,
 }
 
@@ -268,8 +291,18 @@ impl RoutingScratch {
 /// write-ahead durability through a per-shard [`ShardedEventLog`].
 pub struct ShardedSpa {
     shards: Vec<Spa>,
-    selection: SelectionFunction,
+    /// The global selection function, behind interior mutability so
+    /// outcome observation and batch training are `&self` like every
+    /// other entry point: readers (scoring) share the lock, writers
+    /// ([`ShardedSpa::observe_outcome`] /
+    /// [`ShardedSpa::train_selection`]) take it exclusively — and the
+    /// WAL append happens under the same exclusive hold, so log order
+    /// is apply order.
+    selection: RwLock<SelectionFunction>,
     log: Option<ShardedEventLog>,
+    /// Root-level WAL for the global selection function (see
+    /// [`SELECTION_WAL_DIR`]). Present exactly when `log` is.
+    selection_log: Option<EventLog>,
     /// Storage I/O seam shared by the WAL and every snapshot write/read
     /// this platform performs. [`spa_store::RealIo`] in production; a
     /// [`spa_store::FaultPlan`] under chaos testing
@@ -304,8 +337,9 @@ impl ShardedSpa {
         let shards = (0..shards).map(|_| Spa::new(courses, config.clone())).collect();
         Ok(Self {
             shards,
-            selection,
+            selection: RwLock::new(selection),
             log: None,
+            selection_log: None,
             io: real_io(),
             routing: Mutex::new(RoutingScratch::default()),
             pauses,
@@ -342,8 +376,11 @@ impl ShardedSpa {
         io: Arc<dyn StorageIo>,
     ) -> Result<Self> {
         let mut sharded = Self::new(courses, config, shards)?;
+        let root = root.as_ref();
         sharded.log =
-            Some(ShardedEventLog::open_with_io(root.as_ref(), shards, log_config, io.clone())?);
+            Some(ShardedEventLog::open_with_io(root, shards, log_config.clone(), io.clone())?);
+        sharded.selection_log =
+            Some(EventLog::open_with_io(root.join(SELECTION_WAL_DIR), log_config, io.clone())?);
         sharded.io = io;
         Ok(sharded)
     }
@@ -542,8 +579,12 @@ impl ShardedSpa {
         let schema = AttributeSchema::emagister();
         let mut sharded = Self {
             shards: Vec::with_capacity(shards),
-            selection: SelectionFunction::with_imbalance(schema.len(), config.positive_weight),
+            selection: RwLock::new(SelectionFunction::with_imbalance(
+                schema.len(),
+                config.positive_weight,
+            )),
             log: None,
+            selection_log: None,
             io: io.clone(),
             routing: Mutex::new(RoutingScratch::default()),
             pauses: (0..shards).map(|_| RwLock::new(())).collect(),
@@ -569,20 +610,79 @@ impl ShardedSpa {
             stale_temps_removed += stale_temps;
         }
         // the global selection function: restored from the checkpoint's
-        // weight snapshot when one is present and valid; a missing or
-        // corrupt file leaves it untrained (surfaced in the report —
-        // the function is re-fittable from campaign history, unlike
-        // event-derived state, so this degrades rather than fails)
+        // weight snapshot when one is present and valid, then rolled
+        // forward by replaying the selection WAL tail behind the
+        // snapshot's recorded position — each logged outcome re-feeds
+        // the exact advice row the live update consumed, so the
+        // recovered weights are bit-identical to the pre-crash ones.
+        // With no snapshot at all the full outcome history replays from
+        // the start. A present-but-corrupt snapshot skips the replay
+        // too (folding outcomes into unknown weights would diverge
+        // silently) and leaves the function untrained — surfaced in the
+        // report, not failed: unlike event-derived state, the function
+        // is re-fittable from campaign history.
         let mut selection_restored = false;
+        let mut selection_events_replayed = 0u64;
+        let mut selection_torn_tail = None;
+        let selection_dir = root.join(SELECTION_WAL_DIR);
         let selection_path = root.join(SELECTION_SNAPSHOT);
+        let mut selection_replay_from = None;
         if selection_path.exists() {
             if let Ok(snap) = Snapshot::read_with(&selection_path, io.clone()) {
                 if let Some(bytes) = snap.section(SECTION_SELECTION) {
-                    selection_restored = sharded.selection.restore_state(bytes).is_ok();
+                    selection_restored = sharded.selection.get_mut().restore_state(bytes).is_ok();
+                    if selection_restored {
+                        selection_replay_from = Some(snap.position());
+                    }
+                }
+            }
+        } else if selection_dir.exists() {
+            // no snapshot was ever written: replay everything — unless
+            // the log was compacted behind a snapshot that has since
+            // vanished, where a partial replay would silently serve
+            // wrong weights
+            match EventLog::first_segment_index(&selection_dir)? {
+                Some(first) if first > 0 => {
+                    return Err(SpaError::Corrupt(
+                        "selection log is compacted but selection.snap is missing — \
+                         cannot recover the selection function"
+                            .into(),
+                    ))
+                }
+                _ => selection_replay_from = Some(LogPosition::default()),
+            }
+        }
+        if let Some(from) = selection_replay_from {
+            if selection_dir.exists() {
+                let selection = sharded.selection.get_mut();
+                let mut iter = EventLog::replay_iter_from_with(&selection_dir, from, io.clone())?;
+                for event in iter.by_ref() {
+                    let event = event?;
+                    let EventKind::OutcomeObserved { responded, dim, indices, values } =
+                        &event.kind
+                    else {
+                        // only observe_outcome writes this log; anything
+                        // else is corruption, never silently skipped
+                        return Err(SpaError::Corrupt(format!(
+                            "selection log contains a non-outcome event ({})",
+                            event.kind.tag()
+                        )));
+                    };
+                    selection.partial_fit_view(
+                        RowView::new(*dim as usize, indices, values),
+                        *responded,
+                    )?;
+                    selection_events_replayed += 1;
+                }
+                selection_torn_tail = iter.torn_tail();
+                if let Some(torn) = &selection_torn_tail {
+                    EventLog::truncate_torn_tail(&selection_dir, torn)?;
                 }
             }
         }
-        sharded.log = Some(ShardedEventLog::open_existing_with_io(root, log_config, io)?);
+        sharded.log =
+            Some(ShardedEventLog::open_existing_with_io(root, log_config.clone(), io.clone())?);
+        sharded.selection_log = Some(EventLog::open_with_io(&selection_dir, log_config, io)?);
         Ok((
             sharded,
             RecoveryReport {
@@ -591,6 +691,8 @@ impl ShardedSpa {
                 torn_tails,
                 snapshots_loaded,
                 selection_restored,
+                selection_events_replayed,
+                selection_torn_tail,
                 snapshot_fallbacks,
                 stale_temps_removed,
             },
@@ -668,11 +770,24 @@ impl ShardedSpa {
         if !errors.is_empty() {
             return Err(join_shard_errors(errors));
         }
-        // global selection weights (checkpoint(&self) excludes the
-        // &mut training entry points, so the weights are stable here)
-        let mut selection_state = Vec::new();
-        self.selection.write_state(&mut selection_state);
-        let mut builder = SnapshotBuilder::new(LogPosition::default());
+        // global selection weights, anchored to the selection-WAL
+        // position they reflect (the read guard excludes concurrent
+        // observe_outcome appends, so position and weights agree);
+        // recovery restores the weights and replays only the outcomes
+        // logged after this position. As with the shards, the covered
+        // prefix is fsynced before the snapshot lands.
+        let (selection_position, selection_state) = {
+            let selection = self.selection.read();
+            let position =
+                self.selection_log.as_ref().map(|l| l.buffered_position()).unwrap_or_default();
+            let mut state = Vec::new();
+            selection.write_state(&mut state);
+            (position, state)
+        };
+        if let Some(selection_log) = &self.selection_log {
+            selection_log.sync_up_to(selection_position)?;
+        }
+        let mut builder = SnapshotBuilder::new(selection_position);
         builder.section(SECTION_SELECTION, selection_state);
         snapshot_bytes +=
             builder.write_atomic_with(log.root().join(SELECTION_SNAPSHOT), self.io.as_ref())?;
@@ -723,6 +838,23 @@ impl ShardedSpa {
             report.bytes_reclaimed += stats.bytes_reclaimed;
             report.snapshots_pruned += snapshot::prune_snapshots_before(&dir, *position)?;
         }
+        // the selection WAL compacts behind `selection.snap` under the
+        // same discipline: the snapshot is re-validated first, because
+        // the covered outcomes exist nowhere else once their segments
+        // are gone; an unloadable snapshot skips the log (visibly)
+        if let Some(selection_log) = &self.selection_log {
+            let selection_path = log.root().join(SELECTION_SNAPSHOT);
+            if selection_path.exists() {
+                match Snapshot::read_with(&selection_path, self.io.clone()) {
+                    Ok(snap) => {
+                        let stats = selection_log.compact_before(snap.position())?;
+                        report.segments_deleted += stats.segments_deleted;
+                        report.bytes_reclaimed += stats.bytes_reclaimed;
+                    }
+                    Err(_) => report.shards_skipped += 1,
+                }
+            }
+        }
         Ok(report)
     }
 
@@ -746,10 +878,18 @@ impl ShardedSpa {
         self.log.as_ref()
     }
 
+    /// The selection function's own write-ahead log, when durable (the
+    /// root-level outcome log behind [`ShardedSpa::observe_outcome`]).
+    pub fn selection_log(&self) -> Option<&EventLog> {
+        self.selection_log.as_ref()
+    }
+
     /// The global selection function (one model for the whole
-    /// population; per-shard selection functions stay dormant).
-    pub fn selection(&self) -> &SelectionFunction {
-        &self.selection
+    /// population; per-shard selection functions stay dormant). Returns
+    /// a read guard — drop it promptly, a concurrent
+    /// [`ShardedSpa::observe_outcome`] blocks on it.
+    pub fn selection(&self) -> parking_lot::RwLockReadGuard<'_, SelectionFunction> {
+        self.selection.read()
     }
 
     fn owner(&self, user: UserId) -> &Spa {
@@ -867,12 +1007,16 @@ impl ShardedSpa {
         }
     }
 
-    /// Flushes every shard's log to the OS (and disk when `fsync`).
+    /// Flushes every shard's log — and the selection WAL — to the OS
+    /// (and disk when `fsync`).
     pub fn flush(&self) -> Result<()> {
-        match &self.log {
-            Some(log) => log.flush(),
-            None => Ok(()),
+        if let Some(log) = &self.log {
+            log.flush()?;
         }
+        if let Some(selection_log) = &self.selection_log {
+            selection_log.flush()?;
+        }
+        Ok(())
     }
 
     /// Aggregate pre-processing counters across shards. Counters are
@@ -893,11 +1037,21 @@ impl ShardedSpa {
         self.owner(user).next_eit_question(user)
     }
 
-    /// Imports socio-demographic attributes for a user (routed; under
-    /// the owning shard's write-pause latch, like every mutation).
+    /// Imports socio-demographic attributes for a user, as an
+    /// [`EventKind::ObjectiveImported`] event through the ordinary
+    /// ingest path — write-ahead logged on durable platforms and
+    /// replayed on recovery like any LifeLog event. (It mutates SUM
+    /// state; an unlogged import would silently vanish on crash.)
+    /// Over-wide imports are rejected before anything is logged.
     pub fn import_objective(&self, user: UserId, values: &[f64]) -> Result<()> {
-        let _pause = self.pauses[shard_index(user, self.shards.len())].read();
-        self.owner(user).import_objective(user, values)
+        if values.len() > 40 {
+            return Err(SpaError::DimensionMismatch { got: values.len(), expected: 40 });
+        }
+        self.ingest(&LifeLogEvent::new(
+            user,
+            Timestamp::from_millis(0),
+            EventKind::ObjectiveImported { values: values.to_vec() },
+        ))
     }
 
     /// Plain observed feature row (routed; empty row for unknowns).
@@ -911,24 +1065,75 @@ impl ShardedSpa {
     }
 
     /// Trains the global selection function on labelled campaign
-    /// history.
-    pub fn train_selection(&mut self, data: &Dataset) -> Result<()> {
-        self.selection.fit(data)
+    /// history. Batch fits are not event-logged — the dataset is
+    /// operator-supplied, like campaign registrations (see the
+    /// configuration-not-logged contract on [`ShardedSpa::recover`]) —
+    /// so on a durable platform the fitted weights are checkpointed to
+    /// `selection.snap` immediately, anchored at the current
+    /// selection-WAL position: a crash after training recovers the
+    /// fitted function instead of silently reverting to pre-fit
+    /// weights.
+    pub fn train_selection(&self, data: &Dataset) -> Result<()> {
+        // maintenance excludes checkpoint/compact — the snapshot write
+        // below must not race a concurrent checkpoint's
+        let _maintenance = self.maintenance.lock();
+        let mut selection = self.selection.write();
+        selection.fit(data)?;
+        if let (Some(log), Some(selection_log)) = (&self.log, &self.selection_log) {
+            let position = selection_log.buffered_position();
+            let mut state = Vec::new();
+            selection.write_state(&mut state);
+            drop(selection);
+            selection_log.sync_up_to(position)?;
+            let mut builder = SnapshotBuilder::new(position);
+            builder.section(SECTION_SELECTION, state);
+            builder.write_atomic_with(log.root().join(SELECTION_SNAPSHOT), self.io.as_ref())?;
+        }
+        Ok(())
     }
 
     /// Incrementally folds one observed outcome into the global
     /// selection function, through the same clone-free scratch path as
     /// [`Spa::observe_outcome`] (bit-identical update). Requires an
     /// existing user model.
-    pub fn observe_outcome(&mut self, user: UserId, responded: bool) -> Result<()> {
-        let owner = &self.shards[shard_index(user, self.shards.len())];
-        let selection = &mut self.selection;
-        owner.registry().with_model_read(user, |model| {
+    ///
+    /// Durable platforms write-ahead log the outcome to the root-level
+    /// selection WAL first, **with the advice row captured verbatim**:
+    /// Pegasos updates are order- and input-sensitive, so replay must
+    /// re-feed the exact example the live update consumed — recomputing
+    /// the row from recovered SUM state could diverge if the user's
+    /// model moved between this outcome and the crash. The append and
+    /// the weight update share one exclusive hold of the selection
+    /// lock, so log order is apply order.
+    pub fn observe_outcome(&self, user: UserId, responded: bool) -> Result<()> {
+        let owner = self.owner(user);
+        // the advice row is captured under the registry read lock and
+        // released before the selection lock is taken: scoring holds
+        // selection → registry, so holding both here in the opposite
+        // order could deadlock
+        let event = owner.registry().with_model_read(user, |model| -> Result<LifeLogEvent> {
             let model = model.ok_or(SpaError::UnknownUser(user))?;
             let mut scratch = spa_linalg::RowScratch::new(model.dim());
             let view = model.advice_into(owner.advice_factors(), &mut scratch)?;
-            selection.partial_fit_view(view, responded)
-        })
+            Ok(LifeLogEvent::new(
+                user,
+                Timestamp::from_millis(0),
+                EventKind::OutcomeObserved {
+                    responded,
+                    dim: view.dim() as u32,
+                    indices: view.indices().to_vec(),
+                    values: view.values().to_vec(),
+                },
+            ))
+        })?;
+        let mut selection = self.selection.write();
+        if let Some(selection_log) = &self.selection_log {
+            selection_log.append(&event)?;
+        }
+        let EventKind::OutcomeObserved { responded, dim, indices, values } = &event.kind else {
+            unreachable!("constructed above");
+        };
+        selection.partial_fit_view(RowView::new(*dim as usize, indices, values), *responded)
     }
 
     /// Batch propensity scoring in **input order**: each shard scores
@@ -943,12 +1148,15 @@ impl ShardedSpa {
         for (position, &user) in users.iter().enumerate() {
             by_shard[shard_index(user, self.shards.len())].push(position);
         }
+        // one read acquisition for the whole fan-out: every shard
+        // scores against the same pinned weights (a concurrent
+        // observe_outcome waits rather than mutating mid-batch)
+        let selection = self.selection.read();
         let score_shard = |index: usize| -> Result<Vec<(usize, f64)>> {
             by_shard[index]
                 .iter()
                 .map(|&position| {
-                    let score =
-                        self.shards[index].score_user_with(&self.selection, users[position])?;
+                    let score = self.shards[index].score_user_with(&selection, users[position])?;
                     Ok((position, score))
                 })
                 .collect()
@@ -987,12 +1195,13 @@ impl ShardedSpa {
         for (position, &user) in users.iter().enumerate() {
             by_shard[shard_index(user, self.shards.len())].push(position);
         }
+        let selection = self.selection.read();
         let top_of_shard = |index: usize| -> Result<Vec<(UserId, f64)>> {
             let mut scored = by_shard[index]
                 .iter()
                 .map(|&position| {
                     let user = users[position];
-                    Ok((user, self.shards[index].score_user_with(&self.selection, user)?))
+                    Ok((user, self.shards[index].score_user_with(&selection, user)?))
                 })
                 .collect::<Result<Vec<(UserId, f64)>>>()?;
             SelectionFunction::top_k_by_propensity(&mut scored, k);
@@ -1018,11 +1227,16 @@ impl ShardedSpa {
     }
 
     /// Punishes a campaign's appeal attributes for a user who ignored
-    /// its message (routed to the owning shard, under its write-pause
-    /// latch).
-    pub fn punish_ignored(&self, user: UserId, campaign: CampaignId) {
-        let _pause = self.pauses[shard_index(user, self.shards.len())].read();
-        self.owner(user).punish_ignored(user, campaign);
+    /// its message, as an [`EventKind::CampaignIgnored`] event through
+    /// the ordinary ingest path (see
+    /// [`ShardedSpa::import_objective`]). The in-memory punish itself
+    /// cannot fail; the `Result` is the durable platform's WAL append.
+    pub fn punish_ignored(&self, user: UserId, campaign: CampaignId) -> Result<()> {
+        self.ingest(&LifeLogEvent::new(
+            user,
+            Timestamp::from_millis(0),
+            EventKind::CampaignIgnored { campaign },
+        ))
     }
 
     /// Assigns the individualized message for a user (routed).
@@ -1117,7 +1331,7 @@ mod tests {
 
     #[test]
     fn observe_outcome_requires_a_known_user() {
-        let mut sharded = ShardedSpa::new(&courses(), SpaConfig::default(), 2).unwrap();
+        let sharded = ShardedSpa::new(&courses(), SpaConfig::default(), 2).unwrap();
         let unknown = UserId::new(404);
         assert!(matches!(
             sharded.observe_outcome(unknown, true),
@@ -1132,7 +1346,7 @@ mod tests {
 
     #[test]
     fn sharded_rank_top_k_equals_rank_prefix() {
-        let mut sharded = ShardedSpa::new(&courses(), SpaConfig::default(), 5).unwrap();
+        let sharded = ShardedSpa::new(&courses(), SpaConfig::default(), 5).unwrap();
         let users: Vec<UserId> = (0..90).map(UserId::new).collect();
         for (i, &user) in users.iter().enumerate() {
             let event = eit_event(&sharded, user, i as u64, (i as f64 / 90.0) * 2.0 - 1.0);
@@ -1233,7 +1447,7 @@ mod tests {
         let weights_live: Vec<f64>;
         let bias_live;
         {
-            let mut sharded =
+            let sharded =
                 ShardedSpa::with_log(&courses, SpaConfig::default(), 3, &root, log_config.clone())
                     .unwrap();
             sharded.register_campaign(campaigns[0].0, &campaigns[0].1);
@@ -1459,6 +1673,8 @@ mod tests {
             torn_tails: vec![None, None, None],
             snapshots_loaded: vec![Some(LogPosition::default()), None, None],
             selection_restored: true,
+            selection_events_replayed: 5,
+            selection_torn_tail: None,
             snapshot_fallbacks: 1,
             stale_temps_removed: 2,
         };
@@ -1471,8 +1687,9 @@ mod tests {
         assert!(text.contains("1 snapshot fallback"), "{text}");
         assert!(text.contains("2 stale temp files removed"), "{text}");
         assert!(text.contains("restored bit-identical"), "{text}");
+        assert!(text.contains("5 outcomes replayed"), "{text}");
         let untrained = RecoveryReport { selection_restored: false, ..report };
-        assert!(untrained.to_string().contains("re-fit before scoring"));
+        assert!(untrained.to_string().contains("not restored (no valid snapshot)"));
     }
 
     #[test]

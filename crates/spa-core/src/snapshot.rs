@@ -42,9 +42,9 @@ pub const SECTION_STATS: u32 = 2;
 /// ([`crate::selection::SelectionFunction::write_state`]).
 pub const SECTION_SELECTION: u32 = 3;
 
-/// Serializes the pre-processor counters (six `u64`s, little-endian).
+/// Serializes the pre-processor counters (eight `u64`s, little-endian).
 pub fn encode_stats(stats: &PreprocessorStats) -> Vec<u8> {
-    let mut out = Vec::with_capacity(48);
+    let mut out = Vec::with_capacity(64);
     for v in [
         stats.actions,
         stats.transactions,
@@ -52,6 +52,8 @@ pub fn encode_stats(stats: &PreprocessorStats) -> Vec<u8> {
         stats.eit_skips,
         stats.deliveries,
         stats.opens,
+        stats.objective_imports,
+        stats.punishments,
     ] {
         out.extend_from_slice(&v.to_le_bytes());
     }
@@ -60,9 +62,9 @@ pub fn encode_stats(stats: &PreprocessorStats) -> Vec<u8> {
 
 /// Decodes counters written by [`encode_stats`].
 pub fn decode_stats(bytes: &[u8]) -> Result<PreprocessorStats> {
-    if bytes.len() != 48 {
+    if bytes.len() != 64 {
         return Err(SpaError::Corrupt(format!(
-            "stats section is {} bytes, expected 48",
+            "stats section is {} bytes, expected 64",
             bytes.len()
         )));
     }
@@ -74,6 +76,8 @@ pub fn decode_stats(bytes: &[u8]) -> Result<PreprocessorStats> {
         eit_skips: at(3),
         deliveries: at(4),
         opens: at(5),
+        objective_imports: at(6),
+        punishments: at(7),
     })
 }
 
@@ -90,9 +94,12 @@ mod tests {
             eit_skips: 0,
             deliveries: 5,
             opens: 6,
+            objective_imports: 7,
+            punishments: 8,
         };
         assert_eq!(decode_stats(&encode_stats(&stats)).unwrap(), stats);
-        assert!(decode_stats(&[0u8; 47]).is_err());
-        assert!(decode_stats(&[0u8; 49]).is_err());
+        assert!(decode_stats(&[0u8; 63]).is_err());
+        assert!(decode_stats(&[0u8; 65]).is_err());
+        assert!(decode_stats(&[0u8; 48]).is_err(), "pre-admin-event snapshots are rejected loudly");
     }
 }

@@ -1,0 +1,40 @@
+//! A blocking client for the serving protocol: one TCP connection, one
+//! in-flight request at a time (open-loop harnesses hold one client
+//! per worker).
+
+use crate::wire;
+use bytes::BytesMut;
+use spa_core::{ApiRequest, ApiResponse};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected serving client.
+pub struct SpaClient {
+    stream: TcpStream,
+    scratch: BytesMut,
+}
+
+impl SpaClient {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, scratch: BytesMut::new() })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// Transport failures and protocol corruption surface as
+    /// `io::Error`; a platform-side failure arrives as a well-formed
+    /// [`ApiResponse::Error`] value instead.
+    pub fn call(&mut self, request: &ApiRequest) -> io::Result<ApiResponse> {
+        self.scratch.clear();
+        wire::encode_request(request, &mut self.scratch);
+        wire::send_frame(&mut self.stream, &self.scratch)?;
+        let payload = wire::recv_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed before responding")
+        })?;
+        wire::decode_response(&payload)
+            .map_err(|error| io::Error::new(io::ErrorKind::InvalidData, error.to_string()))
+    }
+}

@@ -1,0 +1,33 @@
+//! Minimal TCP serving layer for the SPA platform.
+//!
+//! A deliberately small, dependency-free stack in three pieces:
+//!
+//! * [`wire`] — a compact binary protocol. Every message travels in the
+//!   **same frame the write-ahead log uses on disk**
+//!   (`len: u32 | crc: u32 | payload`, little-endian, CRC-32 over the
+//!   payload), and `Ingest` payloads carry events in the WAL's own
+//!   encoding — a bit flipped in flight is as loud as a bit flipped on
+//!   a platter, and a torn request is rejected exactly like a torn log
+//!   tail.
+//! * [`server`] — a `std::net` accept loop, one thread per connection,
+//!   every connection dispatching into one shared
+//!   [`SpaApi`](spa_core::SpaApi). No async runtime, no framework: the
+//!   platform's own locks are the concurrency model.
+//! * [`client`] — a blocking client speaking the same frames, used by
+//!   the open-loop latency harness and the bit-identity smoke tests.
+//!
+//! The serving contract: a request dispatched through this stack and
+//! the identical request dispatched in-process return **bit-identical**
+//! responses (`spa-server/tests/server_smoke.rs` enforces it byte for
+//! byte).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::SpaClient;
+pub use server::{serve, ServerHandle, ServerStats};
+pub use spa_core::{ApiRequest, ApiResponse, RecoverStatus, SpaApi};

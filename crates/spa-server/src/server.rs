@@ -1,0 +1,150 @@
+//! The TCP accept loop: `std::net`, one thread per connection, one
+//! shared [`SpaApi`] behind them all.
+//!
+//! Connections speak the [`wire`](crate::wire) protocol: read one
+//! framed request, dispatch it, write one framed response, repeat until
+//! the peer closes. Corruption handling mirrors the write-ahead log's:
+//!
+//! * a frame with a CRC mismatch gets a loud [`ApiResponse::Error`]
+//!   answer and the connection is closed (after a failed checksum the
+//!   stream's framing cannot be trusted);
+//! * a torn frame (peer died mid-request) is dropped whole — never
+//!   half-dispatched — and the connection closed.
+//!
+//! Both are counted in [`ServerStats`], so a harness can assert that
+//! every corruption it injected was seen and rejected.
+
+use crate::wire;
+use bytes::BytesMut;
+use spa_core::{ApiResponse, SpaApi};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Monotonic counters of what the server has seen, shared across all
+/// connection threads.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests dispatched and answered (including `Error` answers to
+    /// well-framed but malformed requests).
+    pub frames_served: AtomicU64,
+    /// Frames rejected for corruption: CRC mismatch, oversized length,
+    /// or a torn request.
+    pub corrupt_frames: AtomicU64,
+}
+
+/// A running server: its bound address, its counters and its shutdown
+/// switch. Dropping the handle shuts the listener down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (use port 0 to let the
+    /// OS pick).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live server counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Stops accepting connections and joins the accept loop. Already
+    /// accepted connections finish their current request and drain
+    /// naturally when their peers close.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(thread) = self.accept_thread.take() else { return };
+        self.shutdown.store(true, Ordering::SeqCst);
+        // wake the blocking accept with a throwaway connection
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `addr` and serves `api` until the returned handle is shut
+/// down or dropped.
+pub fn serve<A: ToSocketAddrs>(api: Arc<SpaApi>, addr: A) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(ServerStats::default());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let stats = stats.clone();
+        let shutdown = shutdown.clone();
+        std::thread::Builder::new().name("spa-accept".into()).spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let api = api.clone();
+                let stats = stats.clone();
+                let _ = std::thread::Builder::new()
+                    .name("spa-conn".into())
+                    .spawn(move || handle_connection(&api, stream, &stats));
+            }
+        })?
+    };
+    Ok(ServerHandle { addr, stats, shutdown, accept_thread: Some(accept_thread) })
+}
+
+/// One connection's request/response loop.
+fn handle_connection(api: &SpaApi, mut stream: TcpStream, stats: &ServerStats) {
+    // request/response turnaround must not sit in Nagle's buffer
+    let _ = stream.set_nodelay(true);
+    let mut scratch = BytesMut::new();
+    loop {
+        let payload = match wire::recv_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean close
+            Err(error) if error.kind() == io::ErrorKind::InvalidData => {
+                // flipped bits are answered loudly, then the stream is
+                // abandoned — its framing can no longer be trusted
+                stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                let reply = ApiResponse::Error { message: format!("rejected frame: {error}") };
+                scratch.clear();
+                wire::encode_response(&reply, &mut scratch);
+                let _ = wire::send_frame(&mut stream, &scratch);
+                return;
+            }
+            Err(_) => {
+                // torn frame or transport failure: nothing of the
+                // request is dispatched
+                stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        // a well-framed but malformed request also answers loudly, and
+        // the connection stays usable (framing is still aligned)
+        let response = match wire::decode_request(&payload) {
+            Ok(request) => api.dispatch(&request),
+            Err(error) => ApiResponse::Error { message: error.to_string() },
+        };
+        scratch.clear();
+        wire::encode_response(&response, &mut scratch);
+        if wire::send_frame(&mut stream, &scratch).is_err() {
+            return;
+        }
+        stats.frames_served.fetch_add(1, Ordering::Relaxed);
+    }
+}

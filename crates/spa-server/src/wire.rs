@@ -1,0 +1,422 @@
+//! The binary serving protocol.
+//!
+//! Frame layout — **identical to a write-ahead-log frame on disk**
+//! (little-endian, CRC-32/IEEE over the payload):
+//!
+//! ```text
+//! +----------+----------+---------------------+
+//! | len: u32 | crc: u32 | payload (len bytes) |
+//! +----------+----------+---------------------+
+//! ```
+//!
+//! The payload is a one-byte opcode followed by fixed-width fields; all
+//! counts are `u32` LE, all floats travel as their IEEE-754 bit
+//! patterns, so a response decodes to bit-identical values on any
+//! platform. `Ingest` / `IngestBatch` payloads embed events in the
+//! WAL's own event encoding ([`spa_store::codec`]) — the serving wire
+//! and the durability log reject the same corruptions with the same
+//! loudness:
+//!
+//! * a flipped bit anywhere in the payload fails the CRC before any
+//!   field is parsed;
+//! * a torn frame (connection died mid-message) is an
+//!   [`std::io::ErrorKind::UnexpectedEof`], never a half-read request;
+//! * an oversized length prefix is rejected before any allocation.
+
+use bytes::{Buf, BufMut, BytesMut};
+use spa_core::preprocessor::PreprocessorStats;
+use spa_core::{ApiRequest, ApiResponse, RecoverStatus};
+use spa_store::codec::{crc32, decode_event_slice, encode_event, MAX_PAYLOAD};
+use spa_types::{Result, SpaError, UserId};
+use std::io::{self, Read, Write};
+
+/// Hard cap on one frame's payload. Large enough for a full scoring
+/// audience or ingest batch, small enough that a corrupted length
+/// prefix cannot demand an absurd allocation.
+pub const MAX_WIRE_PAYLOAD: u32 = 1 << 20;
+
+/// Most users one `Score` / `RankTopK` request may carry.
+pub const MAX_AUDIENCE: u32 = 65_536;
+
+/// Most events one `IngestBatch` request may carry.
+pub const MAX_BATCH: u32 = 16_384;
+
+const OP_SCORE: u8 = 1;
+const OP_RANK_TOP_K: u8 = 2;
+const OP_INGEST: u8 = 3;
+const OP_INGEST_BATCH: u8 = 4;
+const OP_OBSERVE_OUTCOME: u8 = 5;
+const OP_STATS: u8 = 6;
+const OP_CHECKPOINT: u8 = 7;
+const OP_COMPACT: u8 = 8;
+const OP_RECOVER_STATUS: u8 = 9;
+
+const RESP_SCORES: u8 = 1;
+const RESP_INGESTED: u8 = 2;
+const RESP_OUTCOME: u8 = 3;
+const RESP_STATS: u8 = 4;
+const RESP_CHECKPOINTED: u8 = 5;
+const RESP_COMPACTED: u8 = 6;
+const RESP_RECOVER_STATUS: u8 = 7;
+const RESP_ERROR: u8 = 8;
+
+fn need(buf: &&[u8], n: usize, what: &str) -> Result<()> {
+    if buf.remaining() < n {
+        return Err(SpaError::Corrupt(format!("wire payload truncated reading {what}")));
+    }
+    Ok(())
+}
+
+fn put_users(users: &[UserId], out: &mut BytesMut) {
+    out.put_u32_le(users.len() as u32);
+    for user in users {
+        out.put_u32_le(user.raw());
+    }
+}
+
+fn get_users(buf: &mut &[u8]) -> Result<Vec<UserId>> {
+    need(buf, 4, "audience count")?;
+    let count = buf.get_u32_le();
+    if count > MAX_AUDIENCE {
+        return Err(SpaError::Corrupt(format!(
+            "audience of {count} users exceeds cap {MAX_AUDIENCE}"
+        )));
+    }
+    need(buf, count as usize * 4, "audience")?;
+    Ok((0..count).map(|_| UserId::new(buf.get_u32_le())).collect())
+}
+
+/// Serializes one request into `out` (payload only — frame it with
+/// [`send_frame`]).
+pub fn encode_request(request: &ApiRequest, out: &mut BytesMut) {
+    match request {
+        ApiRequest::Score { users } => {
+            out.put_u8(OP_SCORE);
+            put_users(users, out);
+        }
+        ApiRequest::RankTopK { users, k } => {
+            out.put_u8(OP_RANK_TOP_K);
+            out.put_u32_le(*k);
+            put_users(users, out);
+        }
+        ApiRequest::Ingest { event } => {
+            out.put_u8(OP_INGEST);
+            encode_event(event, out);
+        }
+        ApiRequest::IngestBatch { events } => {
+            out.put_u8(OP_INGEST_BATCH);
+            out.put_u32_le(events.len() as u32);
+            let mut scratch = BytesMut::new();
+            for event in events {
+                scratch.clear();
+                encode_event(event, &mut scratch);
+                out.put_u32_le(scratch.len() as u32);
+                out.put_slice(&scratch);
+            }
+        }
+        ApiRequest::ObserveOutcome { user, responded } => {
+            out.put_u8(OP_OBSERVE_OUTCOME);
+            out.put_u32_le(user.raw());
+            out.put_u8(u8::from(*responded));
+        }
+        ApiRequest::Stats => out.put_u8(OP_STATS),
+        ApiRequest::Checkpoint => out.put_u8(OP_CHECKPOINT),
+        ApiRequest::Compact => out.put_u8(OP_COMPACT),
+        ApiRequest::RecoverStatus => out.put_u8(OP_RECOVER_STATUS),
+    }
+}
+
+/// Deserializes one request payload. Every malformation is a loud
+/// [`SpaError::Corrupt`]; trailing bytes are rejected (a frame carries
+/// exactly one message).
+pub fn decode_request(payload: &[u8]) -> Result<ApiRequest> {
+    let mut buf = payload;
+    need(&buf, 1, "opcode")?;
+    let op = buf.get_u8();
+    let request = match op {
+        OP_SCORE => ApiRequest::Score { users: get_users(&mut buf)? },
+        OP_RANK_TOP_K => {
+            need(&buf, 4, "k")?;
+            let k = buf.get_u32_le();
+            ApiRequest::RankTopK { users: get_users(&mut buf)?, k }
+        }
+        OP_INGEST => {
+            let event = decode_event_slice(buf)?;
+            buf = &[];
+            ApiRequest::Ingest { event }
+        }
+        OP_INGEST_BATCH => {
+            need(&buf, 4, "batch count")?;
+            let count = buf.get_u32_le();
+            if count > MAX_BATCH {
+                return Err(SpaError::Corrupt(format!(
+                    "batch of {count} events exceeds cap {MAX_BATCH}"
+                )));
+            }
+            let mut events = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                need(&buf, 4, "event length")?;
+                let len = buf.get_u32_le();
+                if len > MAX_PAYLOAD {
+                    return Err(SpaError::Corrupt(format!(
+                        "batched event of {len} bytes exceeds WAL payload cap {MAX_PAYLOAD}"
+                    )));
+                }
+                need(&buf, len as usize, "batched event")?;
+                let (head, tail) = buf.split_at(len as usize);
+                events.push(decode_event_slice(head)?);
+                buf = tail;
+            }
+            ApiRequest::IngestBatch { events }
+        }
+        OP_OBSERVE_OUTCOME => {
+            need(&buf, 5, "outcome fields")?;
+            let user = UserId::new(buf.get_u32_le());
+            let responded = match buf.get_u8() {
+                0 => false,
+                1 => true,
+                other => return Err(SpaError::Corrupt(format!("outcome responded byte {other}"))),
+            };
+            ApiRequest::ObserveOutcome { user, responded }
+        }
+        OP_STATS => ApiRequest::Stats,
+        OP_CHECKPOINT => ApiRequest::Checkpoint,
+        OP_COMPACT => ApiRequest::Compact,
+        OP_RECOVER_STATUS => ApiRequest::RecoverStatus,
+        other => return Err(SpaError::Corrupt(format!("unknown request opcode {other}"))),
+    };
+    if buf.has_remaining() {
+        return Err(SpaError::Corrupt(format!("{} trailing bytes after request", buf.remaining())));
+    }
+    Ok(request)
+}
+
+/// Serializes one response into `out` (payload only).
+pub fn encode_response(response: &ApiResponse, out: &mut BytesMut) {
+    match response {
+        ApiResponse::Scores { entries } => {
+            out.put_u8(RESP_SCORES);
+            out.put_u32_le(entries.len() as u32);
+            for (user, score) in entries {
+                out.put_u32_le(user.raw());
+                out.put_f64_le(*score);
+            }
+        }
+        ApiResponse::Ingested { applied } => {
+            out.put_u8(RESP_INGESTED);
+            out.put_u64_le(*applied);
+        }
+        ApiResponse::OutcomeRecorded => out.put_u8(RESP_OUTCOME),
+        ApiResponse::Stats { stats } => {
+            out.put_u8(RESP_STATS);
+            out.put_u64_le(stats.actions);
+            out.put_u64_le(stats.transactions);
+            out.put_u64_le(stats.eit_answers);
+            out.put_u64_le(stats.eit_skips);
+            out.put_u64_le(stats.deliveries);
+            out.put_u64_le(stats.opens);
+            out.put_u64_le(stats.objective_imports);
+            out.put_u64_le(stats.punishments);
+        }
+        ApiResponse::Checkpointed { shards, snapshot_bytes } => {
+            out.put_u8(RESP_CHECKPOINTED);
+            out.put_u32_le(*shards);
+            out.put_u64_le(*snapshot_bytes);
+        }
+        ApiResponse::Compacted {
+            segments_deleted,
+            bytes_reclaimed,
+            snapshots_pruned,
+            shards_skipped,
+        } => {
+            out.put_u8(RESP_COMPACTED);
+            out.put_u64_le(*segments_deleted);
+            out.put_u64_le(*bytes_reclaimed);
+            out.put_u64_le(*snapshots_pruned);
+            out.put_u64_le(*shards_skipped);
+        }
+        ApiResponse::RecoverStatus { status } => {
+            out.put_u8(RESP_RECOVER_STATUS);
+            out.put_u8(u8::from(status.recovered) | (u8::from(status.selection_restored) << 1));
+            out.put_u64_le(status.events_replayed);
+            out.put_u64_le(status.events_skipped);
+            out.put_u32_le(status.torn_shards);
+            out.put_u64_le(status.selection_events_replayed);
+            out.put_u64_le(status.snapshot_fallbacks);
+            out.put_u64_le(status.stale_temps_removed);
+        }
+        ApiResponse::Error { message } => {
+            out.put_u8(RESP_ERROR);
+            let bytes = message.as_bytes();
+            out.put_u32_le(bytes.len() as u32);
+            out.put_slice(bytes);
+        }
+    }
+}
+
+/// Deserializes one response payload (same loudness rules as
+/// [`decode_request`]).
+pub fn decode_response(payload: &[u8]) -> Result<ApiResponse> {
+    let mut buf = payload;
+    need(&buf, 1, "response tag")?;
+    let tag = buf.get_u8();
+    let response = match tag {
+        RESP_SCORES => {
+            need(&buf, 4, "score count")?;
+            let count = buf.get_u32_le();
+            if count > MAX_AUDIENCE {
+                return Err(SpaError::Corrupt(format!(
+                    "score list of {count} entries exceeds cap {MAX_AUDIENCE}"
+                )));
+            }
+            need(&buf, count as usize * 12, "score entries")?;
+            let entries =
+                (0..count).map(|_| (UserId::new(buf.get_u32_le()), buf.get_f64_le())).collect();
+            ApiResponse::Scores { entries }
+        }
+        RESP_INGESTED => {
+            need(&buf, 8, "applied count")?;
+            ApiResponse::Ingested { applied: buf.get_u64_le() }
+        }
+        RESP_OUTCOME => ApiResponse::OutcomeRecorded,
+        RESP_STATS => {
+            need(&buf, 64, "stats counters")?;
+            ApiResponse::Stats {
+                stats: PreprocessorStats {
+                    actions: buf.get_u64_le(),
+                    transactions: buf.get_u64_le(),
+                    eit_answers: buf.get_u64_le(),
+                    eit_skips: buf.get_u64_le(),
+                    deliveries: buf.get_u64_le(),
+                    opens: buf.get_u64_le(),
+                    objective_imports: buf.get_u64_le(),
+                    punishments: buf.get_u64_le(),
+                },
+            }
+        }
+        RESP_CHECKPOINTED => {
+            need(&buf, 12, "checkpoint fields")?;
+            ApiResponse::Checkpointed { shards: buf.get_u32_le(), snapshot_bytes: buf.get_u64_le() }
+        }
+        RESP_COMPACTED => {
+            need(&buf, 32, "compaction fields")?;
+            ApiResponse::Compacted {
+                segments_deleted: buf.get_u64_le(),
+                bytes_reclaimed: buf.get_u64_le(),
+                snapshots_pruned: buf.get_u64_le(),
+                shards_skipped: buf.get_u64_le(),
+            }
+        }
+        RESP_RECOVER_STATUS => {
+            need(&buf, 1 + 8 + 8 + 4 + 8 + 8 + 8, "recover status")?;
+            let flags = buf.get_u8();
+            if flags > 3 {
+                return Err(SpaError::Corrupt(format!("recover status flags {flags:#x}")));
+            }
+            ApiResponse::RecoverStatus {
+                status: RecoverStatus {
+                    recovered: flags & 1 != 0,
+                    selection_restored: flags & 2 != 0,
+                    events_replayed: buf.get_u64_le(),
+                    events_skipped: buf.get_u64_le(),
+                    torn_shards: buf.get_u32_le(),
+                    selection_events_replayed: buf.get_u64_le(),
+                    snapshot_fallbacks: buf.get_u64_le(),
+                    stale_temps_removed: buf.get_u64_le(),
+                },
+            }
+        }
+        RESP_ERROR => {
+            need(&buf, 4, "error length")?;
+            let len = buf.get_u32_le();
+            if len > MAX_WIRE_PAYLOAD {
+                return Err(SpaError::Corrupt(format!("error text of {len} bytes")));
+            }
+            need(&buf, len as usize, "error text")?;
+            let (head, tail) = buf.split_at(len as usize);
+            let message = std::str::from_utf8(head)
+                .map_err(|_| SpaError::Corrupt("error text is not UTF-8".into()))?
+                .to_owned();
+            buf = tail;
+            ApiResponse::Error { message }
+        }
+        other => return Err(SpaError::Corrupt(format!("unknown response tag {other}"))),
+    };
+    if buf.has_remaining() {
+        return Err(SpaError::Corrupt(format!(
+            "{} trailing bytes after response",
+            buf.remaining()
+        )));
+    }
+    Ok(response)
+}
+
+/// Writes one frame (header + payload) and flushes. Oversized payloads
+/// are refused before any byte leaves.
+pub fn send_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_WIRE_PAYLOAD as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {} bytes exceeds cap {MAX_WIRE_PAYLOAD}", payload.len()),
+        ));
+    }
+    let mut header = [0u8; 8];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    writer.write_all(&header)?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one frame's payload, verifying length and CRC.
+///
+/// * `Ok(None)` — the peer closed cleanly between frames.
+/// * `ErrorKind::UnexpectedEof` — a torn frame: the connection died
+///   mid-message. Nothing of it is delivered.
+/// * `ErrorKind::InvalidData` — a flipped bit (CRC mismatch) or an
+///   oversized length prefix. The stream can no longer be trusted to
+///   be frame-aligned and must be closed.
+pub fn recv_frame<R: Read>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 8];
+    let mut filled = 0;
+    while filled < header.len() {
+        let n = reader.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None); // clean close on a frame boundary
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("torn frame: connection closed after {filled} header bytes"),
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+    if len > MAX_WIRE_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_WIRE_PAYLOAD}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("torn frame: connection closed inside a {len}-byte payload"),
+            )
+        } else {
+            e
+        }
+    })?;
+    let actual = crc32(&payload);
+    if actual != crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame CRC mismatch: stored {crc:#010x}, computed {actual:#010x}"),
+        ));
+    }
+    Ok(Some(payload))
+}

@@ -1,0 +1,215 @@
+//! Wire-codec contracts: every request/response variant round-trips
+//! byte-exactly, and every corruption — a flipped bit anywhere in a
+//! frame, a torn frame, an oversized length — is rejected loudly.
+
+use bytes::BytesMut;
+use spa_core::preprocessor::PreprocessorStats;
+use spa_core::{ApiRequest, ApiResponse, RecoverStatus};
+use spa_server::wire::{
+    decode_request, decode_response, encode_request, encode_response, recv_frame, send_frame,
+    MAX_WIRE_PAYLOAD,
+};
+use spa_types::{
+    CampaignId, CourseId, EventKind, LifeLogEvent, QuestionId, Timestamp, UserId, Valence,
+};
+
+fn sample_events() -> Vec<LifeLogEvent> {
+    vec![
+        LifeLogEvent::new(
+            UserId::new(7),
+            Timestamp::from_millis(11),
+            EventKind::EitAnswer { question: QuestionId::new(3), answer: Valence::new(0.5) },
+        ),
+        LifeLogEvent::new(
+            UserId::new(8),
+            Timestamp::from_millis(12),
+            EventKind::Transaction { course: CourseId::new(2), campaign: Some(CampaignId::new(1)) },
+        ),
+        LifeLogEvent::new(
+            UserId::new(9),
+            Timestamp::from_millis(13),
+            EventKind::ObjectiveImported { values: vec![0.25, -0.5, 1.0] },
+        ),
+        LifeLogEvent::new(
+            UserId::new(10),
+            Timestamp::from_millis(14),
+            EventKind::CampaignIgnored { campaign: CampaignId::new(4) },
+        ),
+    ]
+}
+
+fn sample_requests() -> Vec<ApiRequest> {
+    let users: Vec<UserId> = (0..5).map(UserId::new).collect();
+    vec![
+        ApiRequest::Score { users: users.clone() },
+        ApiRequest::Score { users: Vec::new() },
+        ApiRequest::RankTopK { users, k: 3 },
+        ApiRequest::Ingest { event: sample_events().pop().unwrap() },
+        ApiRequest::IngestBatch { events: sample_events() },
+        ApiRequest::IngestBatch { events: Vec::new() },
+        ApiRequest::ObserveOutcome { user: UserId::new(42), responded: true },
+        ApiRequest::ObserveOutcome { user: UserId::new(43), responded: false },
+        ApiRequest::Stats,
+        ApiRequest::Checkpoint,
+        ApiRequest::Compact,
+        ApiRequest::RecoverStatus,
+    ]
+}
+
+fn sample_responses() -> Vec<ApiResponse> {
+    vec![
+        ApiResponse::Scores {
+            entries: vec![
+                (UserId::new(1), 0.125),
+                (UserId::new(2), -3.5),
+                (UserId::new(3), f64::MIN_POSITIVE),
+            ],
+        },
+        ApiResponse::Scores { entries: Vec::new() },
+        ApiResponse::Ingested { applied: 17 },
+        ApiResponse::OutcomeRecorded,
+        ApiResponse::Stats {
+            stats: PreprocessorStats {
+                actions: 1,
+                transactions: 2,
+                eit_answers: 3,
+                eit_skips: 4,
+                deliveries: 5,
+                opens: 6,
+                objective_imports: 7,
+                punishments: 8,
+            },
+        },
+        ApiResponse::Checkpointed { shards: 3, snapshot_bytes: 4096 },
+        ApiResponse::Compacted {
+            segments_deleted: 2,
+            bytes_reclaimed: 8192,
+            snapshots_pruned: 1,
+            shards_skipped: 0,
+        },
+        ApiResponse::RecoverStatus {
+            status: RecoverStatus {
+                recovered: true,
+                events_replayed: 100,
+                events_skipped: 2,
+                torn_shards: 1,
+                selection_restored: true,
+                selection_events_replayed: 9,
+                snapshot_fallbacks: 0,
+                stale_temps_removed: 1,
+            },
+        },
+        ApiResponse::RecoverStatus { status: RecoverStatus::default() },
+        ApiResponse::Error { message: "no model for user 999".into() },
+    ]
+}
+
+#[test]
+fn every_request_round_trips() {
+    for request in sample_requests() {
+        let mut payload = BytesMut::new();
+        encode_request(&request, &mut payload);
+        let decoded = decode_request(&payload).unwrap();
+        assert_eq!(decoded, request);
+        // the re-encoding is byte-identical — the codec is canonical
+        let mut again = BytesMut::new();
+        encode_request(&decoded, &mut again);
+        assert_eq!(&*again, &*payload);
+    }
+}
+
+#[test]
+fn every_response_round_trips() {
+    for response in sample_responses() {
+        let mut payload = BytesMut::new();
+        encode_response(&response, &mut payload);
+        let decoded = decode_response(&payload).unwrap();
+        // scores carry f64s: compare through the canonical re-encoding
+        // so equality is bit-level, not float-level
+        let mut again = BytesMut::new();
+        encode_response(&decoded, &mut again);
+        assert_eq!(&*again, &*payload);
+        assert_eq!(decoded, response);
+    }
+}
+
+#[test]
+fn a_flipped_bit_anywhere_in_a_frame_is_loud() {
+    let mut payload = BytesMut::new();
+    encode_request(&ApiRequest::Score { users: (0..4).map(UserId::new).collect() }, &mut payload);
+    let mut frame = Vec::new();
+    send_frame(&mut frame, &payload).unwrap();
+    for bit in 0..frame.len() * 8 {
+        let mut corrupted = frame.clone();
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        let mut cursor = &corrupted[..];
+        match recv_frame(&mut cursor) {
+            Err(error) => {
+                // header damage: length or CRC no longer match
+                assert!(
+                    matches!(
+                        error.kind(),
+                        std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof
+                    ),
+                    "bit {bit}: unexpected error kind {error}"
+                );
+            }
+            Ok(recovered) => panic!("bit {bit}: corrupted frame decoded as {recovered:?}"),
+        }
+    }
+}
+
+#[test]
+fn a_torn_frame_is_rejected_whole() {
+    let mut payload = BytesMut::new();
+    encode_request(&ApiRequest::Stats, &mut payload);
+    let mut frame = Vec::new();
+    send_frame(&mut frame, &payload).unwrap();
+    // every possible tear point: nothing of the message is delivered
+    for cut in 1..frame.len() {
+        let mut cursor = &frame[..cut];
+        let error = recv_frame(&mut cursor).unwrap_err();
+        assert_eq!(error.kind(), std::io::ErrorKind::UnexpectedEof, "cut at {cut}");
+    }
+    // a clean close on the boundary is not an error
+    let mut empty: &[u8] = &[];
+    assert!(recv_frame(&mut empty).unwrap().is_none());
+}
+
+#[test]
+fn oversized_frames_are_refused_in_both_directions() {
+    let huge = vec![0u8; MAX_WIRE_PAYLOAD as usize + 1];
+    let mut sink = Vec::new();
+    assert!(send_frame(&mut sink, &huge).is_err());
+    assert!(sink.is_empty(), "nothing may leave after a refused send");
+    // a forged length prefix is rejected before allocation
+    let mut forged = Vec::new();
+    forged.extend_from_slice(&(MAX_WIRE_PAYLOAD + 1).to_le_bytes());
+    forged.extend_from_slice(&0u32.to_le_bytes());
+    let mut cursor = &forged[..];
+    let error = recv_frame(&mut cursor).unwrap_err();
+    assert_eq!(error.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn malformed_payloads_are_corrupt_not_panics() {
+    // unknown opcode
+    assert!(decode_request(&[200]).is_err());
+    // empty payload
+    assert!(decode_request(&[]).is_err());
+    // truncated audience
+    let mut payload = BytesMut::new();
+    encode_request(&ApiRequest::Score { users: (0..9).map(UserId::new).collect() }, &mut payload);
+    for cut in 0..payload.len() {
+        assert!(decode_request(&payload[..cut]).is_err(), "cut at {cut} must not decode");
+    }
+    // trailing garbage
+    let mut padded = payload.to_vec();
+    padded.push(0);
+    assert!(decode_request(&padded).is_err());
+    // absurd audience count: rejected before any allocation
+    let mut forged = BytesMut::new();
+    forged.extend_from_slice(&[1]);
+    forged.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(decode_request(&forged).is_err());
+}

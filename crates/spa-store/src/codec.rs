@@ -76,14 +76,28 @@ const TAG_EIT_ANSWER: u8 = 4;
 const TAG_EIT_SKIPPED: u8 = 5;
 const TAG_DELIVERED: u8 = 6;
 const TAG_OPENED: u8 = 7;
+const TAG_OBJECTIVE: u8 = 8;
+const TAG_IGNORED: u8 = 9;
+const TAG_OUTCOME: u8 = 10;
+
+/// Caps on the variable-length administrative payloads. The objective
+/// bound mirrors the SUM's 40 objective attributes; the outcome bound
+/// is the advice-row dimension ceiling (well under [`MAX_PAYLOAD`]).
+/// The decoder enforces both, so a corrupted count can never drive an
+/// absurd allocation.
+const MAX_OBJECTIVE_VALUES: usize = 64;
+const MAX_OUTCOME_NNZ: usize = 256;
 
 /// Sentinel encoding "no value" for optional u32 ids.
 const NONE_SENTINEL: u32 = u32::MAX;
 
-/// Upper bound on one frame's size (8-byte header + the largest
-/// fixed-width payload, an `EitAnswer` at 25 bytes) with headroom for
-/// future variants. [`FrameScratch`] is sized by it; a grown event
-/// kind that exceeded it would panic loudly in tests, not corrupt.
+/// Upper bound on one *fixed-width* frame's size (8-byte header + the
+/// largest fixed-width payload, an `EitAnswer` at 25 bytes) with
+/// headroom. [`FrameScratch`] is sized by it; variable-width variants
+/// ([`EventKind::ObjectiveImported`], [`EventKind::OutcomeObserved`])
+/// bypass the scratch and frame straight into the heap buffer. A
+/// fixed-width kind that outgrew it would panic loudly in tests, not
+/// corrupt.
 const MAX_FRAME: usize = 64;
 
 /// Fixed-size stack cursor for frame encoding: [`BufMut`] writes
@@ -149,7 +163,40 @@ pub fn encode_event<B: BufMut>(event: &LifeLogEvent, out: &mut B) {
             out.put_u8(TAG_OPENED);
             out.put_u32_le(campaign.raw());
         }
+        EventKind::ObjectiveImported { values } => {
+            debug_assert!(values.len() <= MAX_OBJECTIVE_VALUES, "objective import too wide");
+            out.put_u8(TAG_OBJECTIVE);
+            out.put_u32_le(values.len() as u32);
+            for &v in values {
+                out.put_f64_le(v);
+            }
+        }
+        EventKind::CampaignIgnored { campaign } => {
+            out.put_u8(TAG_IGNORED);
+            out.put_u32_le(campaign.raw());
+        }
+        EventKind::OutcomeObserved { responded, dim, indices, values } => {
+            debug_assert_eq!(indices.len(), values.len(), "outcome row slices diverge");
+            debug_assert!(indices.len() <= MAX_OUTCOME_NNZ, "outcome row too wide");
+            out.put_u8(TAG_OUTCOME);
+            out.put_u8(u8::from(*responded));
+            out.put_u32_le(*dim);
+            out.put_u32_le(indices.len() as u32);
+            for &i in indices {
+                out.put_u32_le(i);
+            }
+            for &v in values {
+                out.put_f64_le(v);
+            }
+        }
     }
+}
+
+/// True when the kind's payload is fixed-width and fits the stack
+/// scratch; the administrative variants carry vectors and take the
+/// heap-buffer framing path instead.
+fn fits_stack_frame(kind: &EventKind) -> bool {
+    !matches!(kind, EventKind::ObjectiveImported { .. } | EventKind::OutcomeObserved { .. })
 }
 
 fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {
@@ -213,6 +260,47 @@ pub fn decode_event_slice(mut buf: &[u8]) -> Result<LifeLogEvent> {
             need(&buf, 4, "opened fields")?;
             EventKind::MessageOpened { campaign: CampaignId::new(buf.get_u32_le()) }
         }
+        TAG_OBJECTIVE => {
+            need(&buf, 4, "objective count")?;
+            let count = buf.get_u32_le() as usize;
+            if count > MAX_OBJECTIVE_VALUES {
+                return Err(SpaError::Corrupt(format!(
+                    "objective import of {count} values exceeds cap {MAX_OBJECTIVE_VALUES}"
+                )));
+            }
+            need(&buf, count * 8, "objective values")?;
+            let values = (0..count).map(|_| buf.get_f64_le()).collect();
+            EventKind::ObjectiveImported { values }
+        }
+        TAG_IGNORED => {
+            need(&buf, 4, "ignored fields")?;
+            EventKind::CampaignIgnored { campaign: CampaignId::new(buf.get_u32_le()) }
+        }
+        TAG_OUTCOME => {
+            need(&buf, 1 + 4 + 4, "outcome header")?;
+            let responded = match buf.get_u8() {
+                0 => false,
+                1 => true,
+                other => return Err(SpaError::Corrupt(format!("outcome responded byte {other}"))),
+            };
+            let dim = buf.get_u32_le();
+            let count = buf.get_u32_le() as usize;
+            if count > MAX_OUTCOME_NNZ {
+                return Err(SpaError::Corrupt(format!(
+                    "outcome row of {count} entries exceeds cap {MAX_OUTCOME_NNZ}"
+                )));
+            }
+            need(&buf, count * 12, "outcome row")?;
+            let indices: Vec<u32> = (0..count).map(|_| buf.get_u32_le()).collect();
+            let values: Vec<f64> = (0..count).map(|_| buf.get_f64_le()).collect();
+            if indices.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(SpaError::Corrupt("outcome row indices not sorted".into()));
+            }
+            if indices.last().is_some_and(|&i| i >= dim) {
+                return Err(SpaError::Corrupt("outcome row index out of dimension".into()));
+            }
+            EventKind::OutcomeObserved { responded, dim, indices, values }
+        }
         other => return Err(SpaError::Corrupt(format!("unknown event tag {other}"))),
     };
     if buf.has_remaining() {
@@ -228,15 +316,30 @@ pub fn decode_event_slice(mut buf: &[u8]) -> Result<LifeLogEvent> {
 /// and the byte stream is identical to the payload-then-prefix
 /// formulation.
 pub fn encode_frame(event: &LifeLogEvent, out: &mut BytesMut) {
-    let mut frame = FrameScratch::new();
-    frame.put_u32_le(0); // length, backfilled below
-    frame.put_u32_le(0); // crc, backfilled below
-    encode_event(event, &mut frame);
-    let payload_len = (frame.len - 8) as u32;
-    let crc = crc32(&frame.buf[8..frame.len]);
-    frame.buf[0..4].copy_from_slice(&payload_len.to_le_bytes());
-    frame.buf[4..8].copy_from_slice(&crc.to_le_bytes());
-    out.extend_from_slice(frame.as_slice());
+    if fits_stack_frame(&event.kind) {
+        let mut frame = FrameScratch::new();
+        frame.put_u32_le(0); // length, backfilled below
+        frame.put_u32_le(0); // crc, backfilled below
+        encode_event(event, &mut frame);
+        let payload_len = (frame.len - 8) as u32;
+        let crc = crc32(&frame.buf[8..frame.len]);
+        frame.buf[0..4].copy_from_slice(&payload_len.to_le_bytes());
+        frame.buf[4..8].copy_from_slice(&crc.to_le_bytes());
+        out.extend_from_slice(frame.as_slice());
+    } else {
+        // Variable-width payload: assemble directly in the output
+        // buffer and backfill the header in place. Same byte stream as
+        // the stack path, just without the 64-byte ceiling.
+        let start = out.len();
+        out.put_u32_le(0); // length, backfilled below
+        out.put_u32_le(0); // crc, backfilled below
+        encode_event(event, out);
+        let payload_len = (out.len() - start - 8) as u32;
+        debug_assert!(payload_len <= MAX_PAYLOAD, "event payload exceeds frame cap");
+        let crc = crc32(&out[start + 8..]);
+        out[start..start + 4].copy_from_slice(&payload_len.to_le_bytes());
+        out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+    }
 }
 
 /// Outcome of attempting to read one frame from a buffer.
@@ -250,7 +353,8 @@ pub enum FrameRead {
 }
 
 /// Maximum payload size accepted by the decoder; anything larger is
-/// treated as corruption (our largest event is < 64 bytes).
+/// treated as corruption (the widest legal event — a full outcome row
+/// at [`MAX_OUTCOME_NNZ`] entries — stays comfortably under this).
 pub const MAX_PAYLOAD: u32 = 4096;
 
 /// Tries to decode one frame from the front of `buf`.
@@ -326,6 +430,41 @@ mod tests {
                 UserId::new(8),
                 Timestamp::from_millis(800),
                 EventKind::MessageOpened { campaign: CampaignId::new(2) },
+            ),
+            LifeLogEvent::new(
+                UserId::new(9),
+                Timestamp::from_millis(900),
+                EventKind::ObjectiveImported { values: vec![0.25, -0.5, 1.0] },
+            ),
+            LifeLogEvent::new(
+                UserId::new(10),
+                Timestamp::from_millis(1000),
+                EventKind::ObjectiveImported { values: vec![] },
+            ),
+            LifeLogEvent::new(
+                UserId::new(11),
+                Timestamp::from_millis(1100),
+                EventKind::CampaignIgnored { campaign: CampaignId::new(3) },
+            ),
+            LifeLogEvent::new(
+                UserId::new(12),
+                Timestamp::from_millis(1200),
+                EventKind::OutcomeObserved {
+                    responded: true,
+                    dim: 115,
+                    indices: vec![0, 7, 114],
+                    values: vec![0.1, -0.9, 0.5],
+                },
+            ),
+            LifeLogEvent::new(
+                UserId::new(13),
+                Timestamp::from_millis(1300),
+                EventKind::OutcomeObserved {
+                    responded: false,
+                    dim: 115,
+                    indices: vec![],
+                    values: vec![],
+                },
             ),
         ]
     }
@@ -441,6 +580,54 @@ mod tests {
         let mut payload = BytesMut::new();
         encode_event(&sample_events()[5], &mut payload);
         payload.put_u8(0);
+        assert!(matches!(decode_event(payload.freeze()), Err(SpaError::Corrupt(_))));
+    }
+
+    #[test]
+    fn outcome_row_structural_corruption_is_loud() {
+        // Hand-craft payloads whose CRC would pass (we feed the payload
+        // decoder directly): the structural guards must still reject.
+        let craft = |count: u32, indices: &[u32], dim: u32| {
+            let mut payload = BytesMut::new();
+            payload.put_u32_le(1); // user
+            payload.put_u64_le(2); // at
+            payload.put_u8(10); // TAG_OUTCOME
+            payload.put_u8(1); // responded
+            payload.put_u32_le(dim);
+            payload.put_u32_le(count);
+            for &i in indices {
+                payload.put_u32_le(i);
+            }
+            for _ in indices {
+                payload.put_f64_le(0.5);
+            }
+            payload
+        };
+        // unsorted indices
+        let bad = craft(2, &[5, 3], 10);
+        assert!(matches!(decode_event(bad.freeze()), Err(SpaError::Corrupt(_))));
+        // index out of dimension
+        let bad = craft(2, &[3, 10], 10);
+        assert!(matches!(decode_event(bad.freeze()), Err(SpaError::Corrupt(_))));
+        // count over cap never allocates
+        let bad = craft(1_000_000, &[], 10);
+        assert!(matches!(decode_event(bad.freeze()), Err(SpaError::Corrupt(_))));
+        // responded byte outside {0, 1}
+        let mut bad = craft(1, &[3], 10);
+        bad[13] = 7;
+        assert!(matches!(decode_event(bad.freeze()), Err(SpaError::Corrupt(_))));
+        // the well-formed control decodes
+        let good = craft(2, &[3, 5], 10);
+        assert!(decode_event(good.freeze()).is_ok());
+    }
+
+    #[test]
+    fn objective_count_over_cap_is_corruption() {
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(1);
+        payload.put_u64_le(2);
+        payload.put_u8(8); // TAG_OBJECTIVE
+        payload.put_u32_le(1_000_000);
         assert!(matches!(decode_event(payload.freeze()), Err(SpaError::Corrupt(_))));
     }
 

@@ -13,7 +13,7 @@ use spa_types::{
 /// state. Optional ids stay below the `u32::MAX` NONE sentinel the
 /// wire format reserves.
 fn make_event(kind: u8, user: u32, at: u64, id: u32, aux: u32, value: f64) -> LifeLogEvent {
-    let kind = match kind % 9 {
+    let kind = match kind % 12 {
         0 => EventKind::Action { action: ActionId::new(id), course: None },
         1 => EventKind::Action { action: ActionId::new(id), course: Some(CourseId::new(aux)) },
         2 => EventKind::Transaction { course: CourseId::new(id), campaign: None },
@@ -25,7 +25,25 @@ fn make_event(kind: u8, user: u32, at: u64, id: u32, aux: u32, value: f64) -> Li
         5 => EventKind::EitAnswer { question: QuestionId::new(id), answer: Valence::new(value) },
         6 => EventKind::EitSkipped { question: QuestionId::new(id) },
         7 => EventKind::MessageDelivered { campaign: CampaignId::new(id) },
-        _ => EventKind::MessageOpened { campaign: CampaignId::new(id) },
+        8 => EventKind::MessageOpened { campaign: CampaignId::new(id) },
+        9 => EventKind::ObjectiveImported {
+            values: (0..aux % 41).map(|i| value * (i as f64 + 1.0)).collect(),
+        },
+        10 => EventKind::CampaignIgnored { campaign: CampaignId::new(id) },
+        _ => {
+            // strictly increasing indices with a stride derived from
+            // the raw inputs, all within the declared dimension
+            let count = aux % 24;
+            let stride = id % 9 + 1;
+            let indices: Vec<u32> = (0..count).map(|i| i * stride).collect();
+            let dim = indices.last().map_or(1, |&i| i + 1 + id % 5);
+            EventKind::OutcomeObserved {
+                responded: user.is_multiple_of(2),
+                dim,
+                values: indices.iter().map(|&i| value * (i as f64 + 0.5)).collect(),
+                indices,
+            }
+        }
     };
     LifeLogEvent::new(UserId::new(user), Timestamp::from_millis(at), kind)
 }
@@ -38,7 +56,7 @@ proptest! {
     /// the id space below the NONE sentinel).
     #[test]
     fn arbitrary_events_round_trip(
-        kind in 0u8..9,
+        kind in 0u8..12,
         user in 0u32..u32::MAX,
         at in 0u64..u64::MAX,
         id in 0u32..u32::MAX,
@@ -67,7 +85,7 @@ proptest! {
     #[test]
     fn concatenated_frames_decode_in_sequence(
         raw in proptest::collection::vec(
-            (0u8..9, 0u32..1000, 0u64..1_000_000, 0u32..10_000, 0u32..10_000, -1.0f64..1.0),
+            (0u8..12, 0u32..1000, 0u64..1_000_000, 0u32..10_000, 0u32..10_000, -1.0f64..1.0),
             1..30,
         ),
     ) {

@@ -41,7 +41,7 @@ fn main() {
     // 1. durable platform (small segments so the history rolls several
     // files per shard and compaction has something to reclaim)
     let log_config = LogConfig { segment_bytes: 16 * 1024, fsync: false };
-    let mut platform =
+    let platform =
         ShardedSpa::with_log(&courses, SpaConfig::default(), shards, &root, log_config.clone())
             .unwrap();
     platform.register_campaign(campaigns[0].0, &campaigns[0].1);

@@ -20,6 +20,7 @@
 //! | [`synth`] | synthetic population / WebLogs / EIT answers / response model |
 //! | [`core`] | the SPA platform itself (SUM, EIT, messaging, recommend/select) |
 //! | [`campaign`] | push & newsletter campaign engine + the Fig 6 experiment |
+//! | [`server`] | TCP serving layer: binary wire protocol over the `SpaApi` facade |
 //!
 //! ## Quickstart
 //!
@@ -59,6 +60,7 @@ pub use spa_campaign as campaign;
 pub use spa_core as core;
 pub use spa_linalg as linalg;
 pub use spa_ml as ml;
+pub use spa_server as server;
 pub use spa_store as store;
 pub use spa_synth as synth;
 pub use spa_types as types;
@@ -71,9 +73,9 @@ pub mod prelude {
     };
     pub use spa_core::platform::{Spa, SpaConfig};
     pub use spa_core::{
-        AssignedMessage, AssignmentCase, CheckpointReport, CompactionReport, EitEngine,
-        MessageCatalog, MessagePolicy, RecoveryReport, SelectionFunction, ShardedSpa,
-        SmartUserModel, SumConfig, SumRegistry,
+        ApiRequest, ApiResponse, AssignedMessage, AssignmentCase, CheckpointReport,
+        CompactionReport, EitEngine, MessageCatalog, MessagePolicy, RecoverStatus, RecoveryReport,
+        SelectionFunction, ShardedSpa, SmartUserModel, SpaApi, SumConfig, SumRegistry,
     };
     pub use spa_linalg::{CsrMatrix, SparseVec};
     pub use spa_ml::{

@@ -2,7 +2,9 @@
 //!
 //! A write-ahead-logged [`ShardedSpa`] serves a full lifecycle scenario
 //! (Zipf-skewed hot users, arriving/departing cohorts, valence drift,
-//! overlapping campaign flights) while a seeded [`FaultPlan`] injects
+//! overlapping campaign flights), with the admin mutation surface —
+//! attribute imports, ignored-campaign punishments, observed outcomes —
+//! interleaved into the stream, while a seeded [`FaultPlan`] injects
 //! torn writes, transient `EIO` bursts, fsync failures and read-side
 //! bit rot. The platform is killed and recovered *every cycle* — at
 //! whatever point the fault plan chose — and after every recovery its
@@ -93,6 +95,65 @@ impl FaultTally {
             self.snapshot_transients += text.matches(INJECTED_TRANSIENT_EIO).count() as u64;
         }
     }
+}
+
+/// Interleaves the admin mutation surface — attribute imports,
+/// ignored-campaign punishments, observed outcomes — into the weather.
+/// All three ride write-ahead logs (the first two the owning shard's,
+/// outcomes the root-level selection log) and face the same injected
+/// faults as organic traffic. Successful ops are mirrored onto the
+/// reference in lockstep (WAL-before-apply means an error leaves live
+/// memory untouched, so only acknowledged ops mirror); a surfaced
+/// fault poisons the owning log and becomes the cycle's crash point.
+/// Returns `true` on such a crash.
+fn admin_weather(
+    live: &ShardedSpa,
+    reference: &ShardedSpa,
+    users: &[UserId],
+    campaigns: &[(CampaignId, Vec<EmotionalAttribute>)],
+    positions: &mut [LogPosition],
+    pacer: &mut SplitMix64,
+    tally: &mut FaultTally,
+) -> bool {
+    for _ in 0..pacer.gen_range(3) {
+        let user = users[pacer.gen_range(users.len() as u64) as usize];
+        let result = match pacer.gen_range(3) {
+            0 => {
+                let width = pacer.gen_range(6) as usize + 1;
+                let values: Vec<f64> = (0..width).map(|i| (i as f64 + 1.0) * 0.0625).collect();
+                live.import_objective(user, &values)
+                    .map(|()| reference.import_objective(user, &values).unwrap())
+            }
+            1 => {
+                let campaign = campaigns[pacer.gen_range(campaigns.len() as u64) as usize].0;
+                live.punish_ignored(user, campaign)
+                    .map(|()| reference.punish_ignored(user, campaign).unwrap())
+            }
+            _ => {
+                if live.advice_row(user).is_err() {
+                    continue; // no model yet — nothing to observe
+                }
+                let responded = pacer.gen_range(2) == 0;
+                live.observe_outcome(user, responded)
+                    .map(|()| reference.observe_outcome(user, responded).unwrap())
+            }
+        };
+        match result {
+            Ok(()) => {
+                // imports and punishments ride the shard WALs: advance
+                // the mirrored positions past them so a later resync
+                // does not double-apply them
+                for (index, position) in positions.iter_mut().enumerate() {
+                    *position = live.log().unwrap().buffered_position(ShardId::new(index as u32));
+                }
+            }
+            Err(error) => {
+                tally.observe_error(&error, false);
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// Drives `reference` through the events the crashed platform durably
@@ -277,7 +338,7 @@ fn run_soak(
         faults.clone(),
     )
     .unwrap();
-    let mut reference = ShardedSpa::new(&courses, config.clone(), shards).unwrap();
+    let reference = ShardedSpa::new(&courses, config.clone(), shards).unwrap();
     for (campaign, appeal) in &campaigns {
         live.register_campaign(*campaign, appeal);
         reference.register_campaign(*campaign, appeal);
@@ -295,8 +356,10 @@ fn run_soak(
     }
     {
         // one shared dataset trains both platforms to bit-identical
-        // selection weights (static for the rest of the soak — the
-        // checkpoint below persists them for every recovery)
+        // selection weights; from here the weights keep drifting under
+        // interleaved outcome observations, so every recovery must
+        // rebuild them from the checkpointed snapshot plus the
+        // selection WAL tail
         let mut data = Dataset::new(75);
         for &user in &users {
             if let Ok(row) = live.advice_row(user) {
@@ -326,6 +389,18 @@ fn run_soak(
                     for (index, position) in ref_positions.iter_mut().enumerate() {
                         *position =
                             live.log().unwrap().buffered_position(ShardId::new(index as u32));
+                    }
+                    if admin_weather(
+                        &live,
+                        &reference,
+                        &users,
+                        &campaigns,
+                        &mut ref_positions,
+                        &mut pacer,
+                        &mut tally,
+                    ) {
+                        crashed_mid_batch = true;
+                        break;
                     }
                 }
                 Err(error) => {
@@ -357,6 +432,7 @@ fn run_soak(
         // kill the platform — every cycle ends in a crash, poisoned or
         // not. Writer-side retry counters die with it: accumulate first.
         tally.writers.accumulate(live.log().unwrap().write_fault_counters());
+        tally.writers.accumulate(live.selection_log().unwrap().write_fault_counters());
         tally.crashes += 1;
         drop(live);
         let (recovered, _report) =
@@ -368,6 +444,7 @@ fn run_soak(
     }
     faults.set_armed(false);
     tally.writers.accumulate(live.log().unwrap().write_fault_counters());
+    tally.writers.accumulate(live.selection_log().unwrap().write_fault_counters());
 
     // ---- exact accounting: every injection in the ledger is ours ----
     let counts = faults.ledger().counts();

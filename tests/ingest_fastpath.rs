@@ -202,7 +202,7 @@ proptest! {
 
         // scores and rankings under one shared trained selection
         let mut single = single;
-        let mut sharded = sharded;
+        let sharded = sharded;
         let mut reference = reference;
         let data = training_data(&reference);
         reference.train_selection(&data).unwrap();

@@ -109,7 +109,7 @@ fn sharded_platform_matches_single_platform_bit_for_bit() {
     let single_ranking = single.rank_users(&users).unwrap();
 
     for shards in SHARD_COUNTS {
-        let mut sharded = ShardedSpa::new(&courses, SpaConfig::default(), shards).unwrap();
+        let sharded = ShardedSpa::new(&courses, SpaConfig::default(), shards).unwrap();
         sharded.register_campaign(CampaignId::new(1), &[EmotionalAttribute::Hopeful]);
         assert_eq!(sharded.ingest_batch(stream.iter()).unwrap(), stream.len());
         sharded.train_selection(&data).unwrap();
@@ -208,7 +208,7 @@ fn sharded_results_are_identical_across_thread_counts() {
         (Vec<(UserId, f64)>, Vec<(UserId, f64)>, spa::core::preprocessor::PreprocessorStats);
     let run = |threads: usize| -> ThreadRun {
         with_threads(threads, || {
-            let mut sharded = ShardedSpa::new(&courses, SpaConfig::default(), 7).unwrap();
+            let sharded = ShardedSpa::new(&courses, SpaConfig::default(), 7).unwrap();
             sharded.register_campaign(CampaignId::new(1), &[EmotionalAttribute::Hopeful]);
             sharded.ingest_batch(stream.iter()).unwrap();
             let reference = {
@@ -255,7 +255,7 @@ fn incremental_outcomes_stay_equivalent() {
     let mut single = Spa::new(&courses, SpaConfig::default());
     single.register_campaign(CampaignId::new(1), &[EmotionalAttribute::Hopeful]);
     single.ingest_batch(stream.iter()).unwrap();
-    let mut sharded = ShardedSpa::new(&courses, SpaConfig::default(), 7).unwrap();
+    let sharded = ShardedSpa::new(&courses, SpaConfig::default(), 7).unwrap();
     sharded.register_campaign(CampaignId::new(1), &[EmotionalAttribute::Hopeful]);
     sharded.ingest_batch(stream.iter()).unwrap();
 

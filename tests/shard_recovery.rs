@@ -26,7 +26,7 @@ fn tmp_root() -> PathBuf {
 }
 
 fn make_event(kind: u8, user: u32, at: u64, id: u32, value: f64) -> LifeLogEvent {
-    let kind = match kind % 8 {
+    let kind = match kind % 10 {
         0 => EventKind::Action { action: ActionId::new(id % 984), course: None },
         1 => EventKind::Action {
             action: ActionId::new(id % 984),
@@ -42,7 +42,16 @@ fn make_event(kind: u8, user: u32, at: u64, id: u32, value: f64) -> LifeLogEvent
             EventKind::EitAnswer { question: QuestionId::new(id % 40), answer: Valence::new(value) }
         }
         6 => EventKind::EitSkipped { question: QuestionId::new(id % 40) },
-        _ => EventKind::MessageOpened { campaign: CampaignId::new(1) },
+        7 => EventKind::MessageOpened { campaign: CampaignId::new(1) },
+        // the admin mutations ride the same WAL as organic traffic:
+        // attribute imports (≤ 40 wide) and ignored-campaign
+        // punishments — against both a registered campaign (1) and an
+        // unregistered one (2), which punishes nothing but must still
+        // replay as the same no-op
+        8 => EventKind::ObjectiveImported {
+            values: (0..id % 9).map(|i| value * (i as f64 + 1.0) * 0.25).collect(),
+        },
+        _ => EventKind::CampaignIgnored { campaign: CampaignId::new(id % 2 + 1) },
     };
     LifeLogEvent::new(UserId::new(user % N_USERS), Timestamp::from_millis(at), kind)
 }
@@ -63,7 +72,7 @@ proptest! {
     #[test]
     fn recover_matches_a_reference_built_from_the_surviving_prefix(
         raw in proptest::collection::vec(
-            (0u8..8, 0u32..N_USERS, 0u64..1_000_000, 0u32..10_000, -1.0f64..1.0),
+            (0u8..10, 0u32..N_USERS, 0u64..1_000_000, 0u32..10_000, -1.0f64..1.0),
             30..120,
         ),
         shard_seed in 0usize..4,

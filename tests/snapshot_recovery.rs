@@ -124,7 +124,7 @@ proptest! {
         let live_selection_weights: Vec<f64>;
         let live_selection_bias;
         {
-            let mut live = ShardedSpa::with_log(
+            let live = ShardedSpa::with_log(
                 &courses,
                 SpaConfig::default(),
                 shards,
@@ -188,7 +188,7 @@ proptest! {
         }
 
         // ---- reference: from-scratch replay of head + survivors -----
-        let mut reference = ShardedSpa::new(&courses, SpaConfig::default(), shards).unwrap();
+        let reference = ShardedSpa::new(&courses, SpaConfig::default(), shards).unwrap();
         reference.register_campaign(campaigns[0].0, &campaigns[0].1);
         reference.ingest_batch(events[..split].iter()).unwrap();
         let reference_data = training_data(&reference, &users);
@@ -216,7 +216,7 @@ proptest! {
 
         // ---- differential: recovered ≡ reference, bit for bit -------
         prop_assert_eq!(recovered.stats(), reference.stats());
-        assert_weights_equal(recovered.selection(), reference.selection(), "vs reference");
+        assert_weights_equal(&recovered.selection(), &reference.selection(), "vs reference");
         let ref_scores = reference.score_users(&users).unwrap();
         let rec_scores = recovered.score_users(&users).unwrap();
         let ref_ranking = reference.rank(&users).unwrap();
