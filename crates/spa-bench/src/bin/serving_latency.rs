@@ -20,12 +20,17 @@
 //! * `SPA_SERVE_SHARDS`   — platform shards (default 3)
 //! * `SPA_SERVE_ARRIVALS` — `poisson` (default) or `fixed`
 //! * `SPA_SERVE_SEED`     — workload seed (default 2026)
+//! * `SPA_SERVE_MAX_INFLIGHT` — server in-flight admission limit
+//!   (default 0 = unlimited). Set low against a high `SPA_SERVE_QPS`
+//!   to measure behavior past saturation: shed responses are counted
+//!   (never panicked on) and **goodput** percentiles (served-only) are
+//!   reported alongside all-response latencies.
 //! * `SPA_BENCH_OUT`      — output path (default
 //!   `BENCH_<today>_serving.json`)
 
 use spa_core::platform::SpaConfig;
 use spa_core::{ApiRequest, ApiResponse, ShardedSpa, SpaApi};
-use spa_server::{serve, SpaClient};
+use spa_server::{serve_with, ClientError, ServeOptions, SpaClient};
 use spa_store::fault::SplitMix64;
 use spa_store::log::LogConfig;
 use spa_synth::catalog::CourseCatalog;
@@ -74,6 +79,14 @@ impl Class {
             _ => Class::ObserveOutcome,
         }
     }
+}
+
+/// How the server answered one scheduled request.
+#[derive(Clone, Copy)]
+enum Outcome {
+    Served,
+    Shed,
+    DeadlineRejected,
 }
 
 fn make_request(class: Class, rng: &mut SplitMix64, step: usize) -> ApiRequest {
@@ -170,6 +183,7 @@ fn main() {
     let workers = env_u64("SPA_SERVE_WORKERS", 4).max(1) as usize;
     let shards = env_u64("SPA_SERVE_SHARDS", 3).max(1) as usize;
     let seed = env_u64("SPA_SERVE_SEED", 2026);
+    let max_in_flight = env_u64("SPA_SERVE_MAX_INFLIGHT", 0) as usize;
     let arrivals_mode = std::env::var("SPA_SERVE_ARRIVALS").unwrap_or_else(|_| "poisson".into());
     let out_path = std::env::var("SPA_BENCH_OUT")
         .unwrap_or_else(|_| format!("BENCH_{}_serving.json", today()));
@@ -206,7 +220,8 @@ fn main() {
     }
     spa.train_selection(&data).unwrap();
     let api = SpaApi::new(Arc::new(spa));
-    let handle = serve(Arc::new(api), "127.0.0.1:0").unwrap();
+    let options = ServeOptions { max_in_flight, ..ServeOptions::default() };
+    let handle = serve_with(Arc::new(api), "127.0.0.1:0", options).unwrap();
     let addr = handle.addr();
 
     // ---- schedule: arrivals precomputed before the run ----
@@ -236,7 +251,7 @@ fn main() {
 
     // ---- open-loop drive: workers own disjoint request slices ----
     let t0 = Instant::now() + Duration::from_millis(300);
-    let worker_results: Vec<Vec<(Class, u64)>> = std::thread::scope(|scope| {
+    let worker_results: Vec<Vec<(Class, Outcome, u64)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let my: Vec<(u64, &(Class, ApiRequest))> = offsets_ns
@@ -252,12 +267,19 @@ fn main() {
                     for (offset, (class, request)) in my {
                         let scheduled = t0 + Duration::from_nanos(offset);
                         wait_until(scheduled);
-                        let response = client.call(request).expect("serving call failed");
-                        if let ApiResponse::Error { message } = &response {
-                            panic!("server returned an error for {class:?}: {message}");
-                        }
+                        // past saturation the server answers with
+                        // fast-fail refusals; they are data, not bugs
+                        let outcome = match client.call(request) {
+                            Ok(ApiResponse::Error { message }) => {
+                                panic!("server returned an error for {class:?}: {message}")
+                            }
+                            Ok(_) => Outcome::Served,
+                            Err(ClientError::Busy(_)) => Outcome::Shed,
+                            Err(ClientError::DeadlineExceeded(_)) => Outcome::DeadlineRejected,
+                            Err(error) => panic!("serving call failed for {class:?}: {error}"),
+                        };
                         let latency = Instant::now().saturating_duration_since(scheduled);
-                        measured.push((*class, latency.as_nanos() as u64));
+                        measured.push((*class, outcome, latency.as_nanos() as u64));
                     }
                     measured
                 })
@@ -266,26 +288,40 @@ fn main() {
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
     let wall = t0.elapsed(); // from the first scheduled arrival's epoch
+    let counters = handle.stats().counts();
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&root);
 
-    // ---- digest ----
+    // ---- digest: per-class and goodput over SERVED responses only,
+    //      plus an all-responses view that includes fast-fail refusals
     let mut by_class: Vec<Vec<u64>> = vec![Vec::new(); Class::ALL.len()];
+    let mut served = Vec::with_capacity(total);
     let mut all = Vec::with_capacity(total);
-    for (class, latency) in worker_results.into_iter().flatten() {
-        by_class[Class::ALL.iter().position(|&c| c == class).unwrap()].push(latency);
+    let (mut shed, mut deadline_rejected) = (0u64, 0u64);
+    for (class, outcome, latency) in worker_results.into_iter().flatten() {
         all.push(latency);
+        match outcome {
+            Outcome::Served => {
+                by_class[Class::ALL.iter().position(|&c| c == class).unwrap()].push(latency);
+                served.push(latency);
+            }
+            Outcome::Shed => shed += 1,
+            Outcome::DeadlineRejected => deadline_rejected += 1,
+        }
     }
-    let overall = digest("overall", all);
+    let served_count = served.len() as u64;
+    let goodput = digest("goodput", served);
+    let overall = digest("all_responses", all);
     let digests: Vec<ClassDigest> = Class::ALL
         .iter()
         .zip(by_class)
         .map(|(&class, latencies)| digest(class.name(), latencies))
         .collect();
     let achieved_qps = total as f64 / wall.as_secs_f64();
+    let goodput_qps = served_count as f64 / wall.as_secs_f64();
 
     let mut results = String::new();
-    for d in digests.iter().chain(std::iter::once(&overall)) {
+    for d in digests.iter().chain([&goodput, &overall]) {
         results.push_str(&format!(
             "    {{\"class\": \"{}\", \"requests\": {}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \
              \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"max_us\": {:.1}}},\n",
@@ -301,8 +337,9 @@ fn main() {
     results.pop();
     results.pop(); // trailing ",\n"
     let json = format!(
-        "{{\n  \"recorded\": \"{date}\",\n  \"commit_context\": \"TCP serving layer: SpaApi \
-         facade + length-prefixed/CRC binary protocol, open-loop latency\",\n  \"methodology\": \
+        "{{\n  \"recorded\": \"{date}\",\n  \"commit_context\": \"serving robustness: admission control \
+         (bounded in-flight, fast-fail shedding) measured open-loop — goodput vs all-response \
+         latency under a configurable in-flight cap\",\n  \"methodology\": \
          \"open-loop: arrivals scheduled before the run ({mode}, target {qps}/s for {seconds}s); \
          latency measured from SCHEDULED arrival to completion, so server stalls pay for every \
          request queued behind them (no coordinated omission). Mix: 70% score({score_n} users), \
@@ -311,8 +348,13 @@ fn main() {
          TCP, TCP_NODELAY.\",\n  \"command\": \"cargo run --release -p spa-bench --bin \
          serving_latency\",\n  \"profile\": \"release\",\n  \"config\": {{\"target_qps\": {qps}, \
          \"seconds\": {seconds}, \"workers\": {workers}, \"shards\": {shards}, \"arrivals\": \
-         \"{mode}\", \"seed\": {seed}, \"users\": {users}}},\n  \"achieved_qps\": \
-         {achieved:.1},\n  \"results_us\": [\n{results}\n  ]\n}}\n",
+         \"{mode}\", \"seed\": {seed}, \"users\": {users}, \"max_in_flight\": \
+         {max_in_flight}}},\n  \"achieved_qps\": {achieved:.1},\n  \"goodput_qps\": \
+         {goodput_qps:.1},\n  \"outcomes\": {{\"served\": {served_count}, \"shed\": {shed}, \
+         \"deadline_rejected\": {deadline_rejected}}},\n  \"server_counters\": \
+         {{\"frames_served\": {frames_served}, \"sheds\": {srv_sheds}, \"dedup_hits\": \
+         {dedup_hits}, \"deadline_rejects\": {deadline_rejects}}},\n  \"results_us\": \
+         [\n{results}\n  ]\n}}\n",
         date = today(),
         mode = arrivals_mode,
         qps = qps,
@@ -324,15 +366,25 @@ fn main() {
         score_n = SCORE_AUDIENCE,
         rank_n = RANK_AUDIENCE,
         achieved = achieved_qps,
+        goodput_qps = goodput_qps,
+        max_in_flight = max_in_flight,
+        served_count = served_count,
+        shed = shed,
+        deadline_rejected = deadline_rejected,
+        frames_served = counters.frames_served,
+        srv_sheds = counters.sheds,
+        dedup_hits = counters.dedup_hits,
+        deadline_rejects = counters.deadline_rejects,
         results = results,
     );
     std::fs::write(&out_path, &json).expect("write bench output");
     eprintln!(
-        "[serving_latency] {total} requests at target {qps}/s ({achieved_qps:.0}/s achieved), \
-         p50 {:.0}us p99 {:.0}us p999 {:.0}us max {:.1}ms -> {out_path}",
-        overall.p50 as f64 / 1000.0,
-        overall.p99 as f64 / 1000.0,
-        overall.p999 as f64 / 1000.0,
-        overall.max as f64 / 1_000_000.0,
+        "[serving_latency] {total} requests at target {qps}/s ({achieved_qps:.0}/s achieved, \
+         {goodput_qps:.0}/s goodput), {served_count} served / {shed} shed / {deadline_rejected} \
+         past deadline, goodput p50 {:.0}us p99 {:.0}us p999 {:.0}us max {:.1}ms -> {out_path}",
+        goodput.p50 as f64 / 1000.0,
+        goodput.p99 as f64 / 1000.0,
+        goodput.p999 as f64 / 1000.0,
+        goodput.max as f64 / 1_000_000.0,
     );
 }

@@ -61,7 +61,11 @@ pub mod snapshot;
 pub mod sum;
 pub mod values;
 
-pub use api::{ApiRequest, ApiResponse, RecoverStatus, SpaApi};
+pub use api::{
+    now_unix_micros, ApiRequest, ApiResponse, DedupWindow, Dispatched, RecoverStatus,
+    RequestEnvelope, SpaApi, DEFAULT_DEDUP_CAPACITY, ERR_DEADLINE_EXCEEDED, ERR_DRAINING,
+    ERR_SERVER_BUSY,
+};
 pub use cache::{AdviceCache, CacheStats};
 pub use eit::{EitEngine, EitQuestion, QuestionBank};
 pub use messaging::{AssignedMessage, AssignmentCase, MessageCatalog, MessagePolicy};

@@ -25,7 +25,7 @@
 
 use bytes::{Buf, BufMut, BytesMut};
 use spa_core::preprocessor::PreprocessorStats;
-use spa_core::{ApiRequest, ApiResponse, RecoverStatus};
+use spa_core::{ApiRequest, ApiResponse, RecoverStatus, RequestEnvelope};
 use spa_store::codec::{crc32, decode_event_slice, encode_event, MAX_PAYLOAD};
 use spa_types::{Result, SpaError, UserId};
 use std::io::{self, Read, Write};
@@ -351,6 +351,85 @@ pub fn decode_response(payload: &[u8]) -> Result<ApiResponse> {
     Ok(response)
 }
 
+/// Bytes the request envelope occupies ahead of the request payload.
+pub const ENVELOPE_BYTES: usize = 8 + 8 + 4;
+
+/// Bytes the response envelope occupies ahead of the response payload.
+pub const RESPONSE_ENVELOPE_BYTES: usize = 8 + 1;
+
+/// Response-envelope flag: this response was replayed byte-identically
+/// from the server's dedup window (the mutation did **not** execute a
+/// second time).
+pub const FLAG_REPLAYED: u8 = 1;
+
+/// Serializes the robustness envelope followed by the request.
+///
+/// Layout ahead of the request payload, all little-endian:
+///
+/// ```text
+/// | id: u64 | sent_unix_micros: u64 | deadline_micros: u32 | request… |
+/// ```
+pub fn encode_enveloped_request(
+    envelope: &RequestEnvelope,
+    request: &ApiRequest,
+    out: &mut BytesMut,
+) {
+    out.put_u64_le(envelope.id);
+    out.put_u64_le(envelope.sent_unix_micros);
+    out.put_u32_le(envelope.deadline_micros);
+    encode_request(request, out);
+}
+
+/// Splits the envelope off a request payload without touching the
+/// request bytes — cheap enough to run even when the server is
+/// shedding load, so a `ServerBusy` answer still carries the request
+/// id the client is waiting on. Returns the envelope and the inner
+/// request payload.
+pub fn decode_request_envelope(payload: &[u8]) -> Result<(RequestEnvelope, &[u8])> {
+    let mut buf = payload;
+    need(&buf, ENVELOPE_BYTES, "request envelope")?;
+    let envelope = RequestEnvelope {
+        id: buf.get_u64_le(),
+        sent_unix_micros: buf.get_u64_le(),
+        deadline_micros: buf.get_u32_le(),
+    };
+    Ok((envelope, buf))
+}
+
+/// Deserializes one enveloped request payload (envelope + request,
+/// same loudness rules as [`decode_request`]).
+pub fn decode_enveloped_request(payload: &[u8]) -> Result<(RequestEnvelope, ApiRequest)> {
+    let (envelope, rest) = decode_request_envelope(payload)?;
+    Ok((envelope, decode_request(rest)?))
+}
+
+/// Serializes the response envelope (the request id it answers plus
+/// flags) followed by the response.
+pub fn encode_enveloped_response(
+    id: u64,
+    replayed: bool,
+    response: &ApiResponse,
+    out: &mut BytesMut,
+) {
+    out.put_u64_le(id);
+    out.put_u8(if replayed { FLAG_REPLAYED } else { 0 });
+    encode_response(response, out);
+}
+
+/// Deserializes one enveloped response payload into
+/// `(request id, replayed, response)`. Unknown flag bits are rejected
+/// loudly — they would mean the peer speaks a newer protocol.
+pub fn decode_enveloped_response(payload: &[u8]) -> Result<(u64, bool, ApiResponse)> {
+    let mut buf = payload;
+    need(&buf, RESPONSE_ENVELOPE_BYTES, "response envelope")?;
+    let id = buf.get_u64_le();
+    let flags = buf.get_u8();
+    if flags & !FLAG_REPLAYED != 0 {
+        return Err(SpaError::Corrupt(format!("unknown response envelope flags {flags:#04x}")));
+    }
+    Ok((id, flags & FLAG_REPLAYED != 0, decode_response(buf)?))
+}
+
 /// Writes one frame (header + payload) and flushes. Oversized payloads
 /// are refused before any byte leaves.
 pub fn send_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
@@ -368,22 +447,52 @@ pub fn send_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
     writer.flush()
 }
 
-/// Reads one frame's payload, verifying length and CRC.
+/// What one attempt to read a frame produced, with socket-timeout
+/// expirations separated by *where* they struck — the server's idle
+/// reaper and slow-loris defense need the distinction.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete, CRC-verified frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed cleanly on a frame boundary.
+    CleanClose,
+    /// The socket read timed out with **zero** bytes of the next frame
+    /// read: the peer is idle, not torn. The stream is still
+    /// frame-aligned; the caller may keep waiting or reap the
+    /// connection.
+    IdleBoundary,
+    /// The socket read timed out **mid-frame**: the peer started a
+    /// frame and stopped feeding it (slow-loris, stall, or death the
+    /// TCP stack has not noticed). The stream cannot be re-aligned.
+    Stalled,
+}
+
+fn is_timeout(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock)
+}
+
+/// Reads one frame, verifying length and CRC, reporting socket-timeout
+/// expirations as [`FrameEvent`] variants instead of errors.
 ///
-/// * `Ok(None)` — the peer closed cleanly between frames.
 /// * `ErrorKind::UnexpectedEof` — a torn frame: the connection died
 ///   mid-message. Nothing of it is delivered.
 /// * `ErrorKind::InvalidData` — a flipped bit (CRC mismatch) or an
 ///   oversized length prefix. The stream can no longer be trusted to
 ///   be frame-aligned and must be closed.
-pub fn recv_frame<R: Read>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
+pub fn recv_frame_event<R: Read>(reader: &mut R) -> io::Result<FrameEvent> {
     let mut header = [0u8; 8];
     let mut filled = 0;
     while filled < header.len() {
-        let n = reader.read(&mut header[filled..])?;
+        let n = match reader.read(&mut header[filled..]) {
+            Ok(n) => n,
+            Err(e) if is_timeout(e.kind()) => {
+                return Ok(if filled == 0 { FrameEvent::IdleBoundary } else { FrameEvent::Stalled })
+            }
+            Err(e) => return Err(e),
+        };
         if n == 0 {
             if filled == 0 {
-                return Ok(None); // clean close on a frame boundary
+                return Ok(FrameEvent::CleanClose); // clean close on a frame boundary
             }
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -401,16 +510,21 @@ pub fn recv_frame<R: Read>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
         ));
     }
     let mut payload = vec![0u8; len as usize];
-    reader.read_exact(&mut payload).map_err(|e| {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            io::Error::new(
+    let mut got = 0;
+    while got < payload.len() {
+        let n = match reader.read(&mut payload[got..]) {
+            Ok(n) => n,
+            Err(e) if is_timeout(e.kind()) => return Ok(FrameEvent::Stalled),
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 format!("torn frame: connection closed inside a {len}-byte payload"),
-            )
-        } else {
-            e
+            ));
         }
-    })?;
+        got += n;
+    }
     let actual = crc32(&payload);
     if actual != crc {
         return Err(io::Error::new(
@@ -418,5 +532,29 @@ pub fn recv_frame<R: Read>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
             format!("frame CRC mismatch: stored {crc:#010x}, computed {actual:#010x}"),
         ));
     }
-    Ok(Some(payload))
+    Ok(FrameEvent::Frame(payload))
+}
+
+/// Reads one frame's payload, verifying length and CRC.
+///
+/// * `Ok(None)` — the peer closed cleanly between frames.
+/// * `ErrorKind::TimedOut` — a socket read timeout expired (only on
+///   streams with a read timeout configured).
+/// * `ErrorKind::UnexpectedEof` — a torn frame: the connection died
+///   mid-message. Nothing of it is delivered.
+/// * `ErrorKind::InvalidData` — a flipped bit (CRC mismatch) or an
+///   oversized length prefix. The stream can no longer be trusted to
+///   be frame-aligned and must be closed.
+pub fn recv_frame<R: Read>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
+    match recv_frame_event(reader)? {
+        FrameEvent::Frame(payload) => Ok(Some(payload)),
+        FrameEvent::CleanClose => Ok(None),
+        FrameEvent::IdleBoundary => Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "read timed out waiting for a response frame",
+        )),
+        FrameEvent::Stalled => {
+            Err(io::Error::new(io::ErrorKind::TimedOut, "read timed out mid-frame"))
+        }
+    }
 }

@@ -175,12 +175,18 @@ fn corrupted_frames_are_rejected_loudly_and_contained() {
     stream.write_all(&frame).unwrap();
     stream.flush().unwrap();
     match recv_frame(&mut stream) {
-        Ok(Some(reply)) => match spa_server::wire::decode_response(&reply).unwrap() {
-            ApiResponse::Error { message } => {
-                assert!(message.contains("CRC"), "rejection names the cause: {message}")
+        Ok(Some(reply)) => {
+            let (id, replayed, response) =
+                spa_server::wire::decode_enveloped_response(&reply).unwrap();
+            assert_eq!(id, 0, "a frame too corrupt to carry an id is answered under id 0");
+            assert!(!replayed);
+            match response {
+                ApiResponse::Error { message } => {
+                    assert!(message.contains("CRC"), "rejection names the cause: {message}")
+                }
+                other => panic!("expected a loud error, got {other:?}"),
             }
-            other => panic!("expected a loud error, got {other:?}"),
-        },
+        }
         other => panic!("expected an error frame, got {other:?}"),
     }
     // the server closed our stream after the rejection

@@ -4,10 +4,12 @@
 
 use bytes::BytesMut;
 use spa_core::preprocessor::PreprocessorStats;
-use spa_core::{ApiRequest, ApiResponse, RecoverStatus};
+use spa_core::{ApiRequest, ApiResponse, RecoverStatus, RequestEnvelope};
 use spa_server::wire::{
-    decode_request, decode_response, encode_request, encode_response, recv_frame, send_frame,
-    MAX_WIRE_PAYLOAD,
+    decode_enveloped_request, decode_enveloped_response, decode_request, decode_request_envelope,
+    decode_response, encode_enveloped_request, encode_enveloped_response, encode_request,
+    encode_response, recv_frame, send_frame, ENVELOPE_BYTES, FLAG_REPLAYED, MAX_WIRE_PAYLOAD,
+    RESPONSE_ENVELOPE_BYTES,
 };
 use spa_types::{
     CampaignId, CourseId, EventKind, LifeLogEvent, QuestionId, Timestamp, UserId, Valence,
@@ -212,4 +214,129 @@ fn malformed_payloads_are_corrupt_not_panics() {
     forged.extend_from_slice(&[1]);
     forged.extend_from_slice(&u32::MAX.to_le_bytes());
     assert!(decode_request(&forged).is_err());
+}
+
+fn sample_envelope() -> RequestEnvelope {
+    RequestEnvelope {
+        id: 0xDEAD_BEEF_CAFE_F00D,
+        sent_unix_micros: 1_754_600_000_123_456,
+        deadline_micros: 250_000,
+    }
+}
+
+#[test]
+fn enveloped_requests_round_trip_canonically() {
+    for request in sample_requests() {
+        let envelope = sample_envelope();
+        let mut payload = BytesMut::new();
+        encode_enveloped_request(&envelope, &request, &mut payload);
+        assert!(payload.len() >= ENVELOPE_BYTES);
+        let (decoded_envelope, decoded) = decode_enveloped_request(&payload).unwrap();
+        assert_eq!(decoded_envelope, envelope);
+        assert_eq!(decoded, request);
+        // the envelope splits off without copying the inner request
+        let (split_envelope, inner) = decode_request_envelope(&payload).unwrap();
+        assert_eq!(split_envelope, envelope);
+        assert_eq!(decode_request(inner).unwrap(), request);
+        // canonical: re-encoding is byte-identical
+        let mut again = BytesMut::new();
+        encode_enveloped_request(&decoded_envelope, &decoded, &mut again);
+        assert_eq!(&*again, &*payload);
+    }
+}
+
+#[test]
+fn enveloped_responses_round_trip_and_flags_are_validated() {
+    for response in sample_responses() {
+        for replayed in [false, true] {
+            let mut payload = BytesMut::new();
+            encode_enveloped_response(7, replayed, &response, &mut payload);
+            assert!(payload.len() >= RESPONSE_ENVELOPE_BYTES);
+            let (id, decoded_replayed, decoded) = decode_enveloped_response(&payload).unwrap();
+            assert_eq!(id, 7);
+            assert_eq!(decoded_replayed, replayed);
+            let mut again = BytesMut::new();
+            encode_enveloped_response(id, decoded_replayed, &decoded, &mut again);
+            assert_eq!(&*again, &*payload);
+        }
+    }
+    // every unknown flag bit is refused, not ignored
+    let mut payload = BytesMut::new();
+    encode_enveloped_response(7, false, &ApiResponse::OutcomeRecorded, &mut payload);
+    for bit in 1..8 {
+        let mut forged = payload.to_vec();
+        forged[8] = FLAG_REPLAYED | (1 << bit);
+        let error = decode_enveloped_response(&forged).unwrap_err();
+        assert!(
+            matches!(error, spa_types::SpaError::Corrupt(_)),
+            "flag bit {bit}: expected corrupt, got {error}"
+        );
+    }
+}
+
+#[test]
+fn a_truncated_request_envelope_is_corrupt_not_a_panic() {
+    let mut payload = BytesMut::new();
+    encode_enveloped_request(&sample_envelope(), &ApiRequest::Stats, &mut payload);
+    for cut in 0..ENVELOPE_BYTES {
+        let error = decode_request_envelope(&payload[..cut]).unwrap_err();
+        assert!(
+            matches!(error, spa_types::SpaError::Corrupt(_)),
+            "cut at {cut}: expected corrupt, got {error}"
+        );
+    }
+    // an envelope with no request behind it is also refused
+    assert!(decode_enveloped_request(&payload[..ENVELOPE_BYTES]).is_err());
+    // truncated short responses likewise
+    let mut response = BytesMut::new();
+    encode_enveloped_response(9, true, &ApiResponse::OutcomeRecorded, &mut response);
+    for cut in 0..RESPONSE_ENVELOPE_BYTES {
+        assert!(decode_enveloped_response(&response[..cut]).is_err(), "cut at {cut}");
+    }
+}
+
+#[test]
+fn a_flipped_bit_anywhere_in_an_enveloped_frame_is_loud() {
+    let mut payload = BytesMut::new();
+    encode_enveloped_request(
+        &sample_envelope(),
+        &ApiRequest::IngestBatch { events: sample_events() },
+        &mut payload,
+    );
+    let mut frame = Vec::new();
+    send_frame(&mut frame, &payload).unwrap();
+    for bit in 0..frame.len() * 8 {
+        let mut corrupted = frame.clone();
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        let mut cursor = &corrupted[..];
+        match recv_frame(&mut cursor) {
+            Err(error) => assert!(
+                matches!(
+                    error.kind(),
+                    std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof
+                ),
+                "bit {bit}: unexpected error kind {error}"
+            ),
+            Ok(recovered) => panic!("bit {bit}: corrupted frame decoded as {recovered:?}"),
+        }
+    }
+}
+
+#[test]
+fn a_torn_enveloped_frame_is_rejected_whole() {
+    let mut payload = BytesMut::new();
+    encode_enveloped_request(
+        &sample_envelope(),
+        &ApiRequest::ObserveOutcome { user: UserId::new(5), responded: true },
+        &mut payload,
+    );
+    let mut frame = Vec::new();
+    send_frame(&mut frame, &payload).unwrap();
+    // every possible tear point: nothing of the message is delivered —
+    // this is what makes a mid-request connection drop (DropTx) safe
+    for cut in 1..frame.len() {
+        let mut cursor = &frame[..cut];
+        let error = recv_frame(&mut cursor).unwrap_err();
+        assert_eq!(error.kind(), std::io::ErrorKind::UnexpectedEof, "cut at {cut}");
+    }
 }
