@@ -25,6 +25,14 @@
 //!   to measure behavior past saturation: shed responses are counted
 //!   (never panicked on) and **goodput** percentiles (served-only) are
 //!   reported alongside all-response latencies.
+//! * `SPA_SERVE_WRITER_QPS` — writer-contention mode: background
+//!   `ingest_batch` calls per second against the same platform
+//!   (default 0 = off). Writers run open-loop on their own schedule,
+//!   directly on the shared [`ShardedSpa`] — pure storage-layer
+//!   contention, no server connection slots consumed — so read-class
+//!   percentiles with writers armed vs. silent isolate how much read
+//!   latency is hostage to ingest.
+//! * `SPA_SERVE_WRITER_BATCH` — events per writer batch (default 32)
 //! * `SPA_BENCH_OUT`      — output path (default
 //!   `BENCH_<today>_serving.json`)
 
@@ -37,6 +45,7 @@ use spa_synth::catalog::CourseCatalog;
 use spa_types::{
     CampaignId, CourseId, EmotionalAttribute, EventKind, LifeLogEvent, Timestamp, UserId, Valence,
 };
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -184,6 +193,8 @@ fn main() {
     let shards = env_u64("SPA_SERVE_SHARDS", 3).max(1) as usize;
     let seed = env_u64("SPA_SERVE_SEED", 2026);
     let max_in_flight = env_u64("SPA_SERVE_MAX_INFLIGHT", 0) as usize;
+    let writer_qps = env_u64("SPA_SERVE_WRITER_QPS", 0);
+    let writer_batch = env_u64("SPA_SERVE_WRITER_BATCH", 32).max(1) as usize;
     let arrivals_mode = std::env::var("SPA_SERVE_ARRIVALS").unwrap_or_else(|_| "poisson".into());
     let out_path = std::env::var("SPA_BENCH_OUT")
         .unwrap_or_else(|_| format!("BENCH_{}_serving.json", today()));
@@ -219,7 +230,8 @@ fn main() {
         }
     }
     spa.train_selection(&data).unwrap();
-    let api = SpaApi::new(Arc::new(spa));
+    let platform = Arc::new(spa);
+    let api = SpaApi::new(platform.clone());
     let options = ServeOptions { max_in_flight, ..ServeOptions::default() };
     let handle = serve_with(Arc::new(api), "127.0.0.1:0", options).unwrap();
     let addr = handle.addr();
@@ -251,42 +263,88 @@ fn main() {
 
     // ---- open-loop drive: workers own disjoint request slices ----
     let t0 = Instant::now() + Duration::from_millis(300);
-    let worker_results: Vec<Vec<(Class, Outcome, u64)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let my: Vec<(u64, &(Class, ApiRequest))> = offsets_ns
-                    .iter()
-                    .zip(requests.iter())
-                    .skip(w)
-                    .step_by(workers)
-                    .map(|(&t, r)| (t, r))
-                    .collect();
+    let stop_writers = AtomicBool::new(false);
+    type WorkerResults = Vec<Vec<(Class, Outcome, u64)>>;
+    type WriterReport = Option<(Vec<u64>, u64)>;
+    let (worker_results, writer_report): (WorkerResults, WriterReport) =
+        std::thread::scope(|scope| {
+            // background writer: open-loop ingest_batch load on its own
+            // fixed-interval schedule, straight at the platform
+            let writer_handle = (writer_qps > 0).then(|| {
+                let platform = &platform;
+                let stop_writers = &stop_writers;
                 scope.spawn(move || {
-                    let mut client = SpaClient::connect(addr).expect("connect");
-                    let mut measured = Vec::with_capacity(my.len());
-                    for (offset, (class, request)) in my {
-                        let scheduled = t0 + Duration::from_nanos(offset);
-                        wait_until(scheduled);
-                        // past saturation the server answers with
-                        // fast-fail refusals; they are data, not bugs
-                        let outcome = match client.call(request) {
-                            Ok(ApiResponse::Error { message }) => {
-                                panic!("server returned an error for {class:?}: {message}")
-                            }
-                            Ok(_) => Outcome::Served,
-                            Err(ClientError::Busy(_)) => Outcome::Shed,
-                            Err(ClientError::DeadlineExceeded(_)) => Outcome::DeadlineRejected,
-                            Err(error) => panic!("serving call failed for {class:?}: {error}"),
-                        };
-                        let latency = Instant::now().saturating_duration_since(scheduled);
-                        measured.push((*class, outcome, latency.as_nanos() as u64));
+                    let interval_ns = 1_000_000_000 / writer_qps;
+                    let mut rng = SplitMix64::new(seed ^ 0x57A7_E57A);
+                    let mut latencies = Vec::new();
+                    let mut events_applied = 0u64;
+                    let mut tick = 0u64;
+                    while !stop_writers.load(Ordering::Relaxed) {
+                        wait_until(t0 + Duration::from_nanos(interval_ns * tick));
+                        if stop_writers.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let step0 = 1_000_000 + tick * writer_batch as u64;
+                        let events: Vec<LifeLogEvent> = (0..writer_batch)
+                            .map(|j| {
+                                LifeLogEvent::new(
+                                    UserId::new(rng.gen_range(N_USERS as u64) as u32),
+                                    Timestamp::from_millis(step0 + j as u64),
+                                    EventKind::Transaction {
+                                        course: CourseId::new(rng.gen_range(25) as u32),
+                                        campaign: Some(CampaignId::new(1)),
+                                    },
+                                )
+                            })
+                            .collect();
+                        let start = Instant::now();
+                        let applied = platform.ingest_batch(&events).expect("writer ingest_batch");
+                        latencies.push(start.elapsed().as_nanos() as u64);
+                        events_applied += applied as u64;
+                        tick += 1;
                     }
-                    measured
+                    (latencies, events_applied)
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    });
+            });
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let my: Vec<(u64, &(Class, ApiRequest))> = offsets_ns
+                        .iter()
+                        .zip(requests.iter())
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(&t, r)| (t, r))
+                        .collect();
+                    scope.spawn(move || {
+                        let mut client = SpaClient::connect(addr).expect("connect");
+                        let mut measured = Vec::with_capacity(my.len());
+                        for (offset, (class, request)) in my {
+                            let scheduled = t0 + Duration::from_nanos(offset);
+                            wait_until(scheduled);
+                            // past saturation the server answers with
+                            // fast-fail refusals; they are data, not bugs
+                            let outcome = match client.call(request) {
+                                Ok(ApiResponse::Error { message }) => {
+                                    panic!("server returned an error for {class:?}: {message}")
+                                }
+                                Ok(_) => Outcome::Served,
+                                Err(ClientError::Busy(_)) => Outcome::Shed,
+                                Err(ClientError::DeadlineExceeded(_)) => Outcome::DeadlineRejected,
+                                Err(error) => panic!("serving call failed for {class:?}: {error}"),
+                            };
+                            let latency = Instant::now().saturating_duration_since(scheduled);
+                            measured.push((*class, outcome, latency.as_nanos() as u64));
+                        }
+                        measured
+                    })
+                })
+                .collect();
+            let results: Vec<_> =
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+            stop_writers.store(true, Ordering::Relaxed);
+            let writer_report = writer_handle.map(|h| h.join().expect("writer panicked"));
+            (results, writer_report)
+        });
     let wall = t0.elapsed(); // from the first scheduled arrival's epoch
     let counters = handle.stats().counts();
     handle.shutdown();
@@ -319,6 +377,23 @@ fn main() {
         .collect();
     let achieved_qps = total as f64 / wall.as_secs_f64();
     let goodput_qps = served_count as f64 / wall.as_secs_f64();
+    let writer_json = match &writer_report {
+        Some((latencies, events_applied)) => {
+            let d = digest("writer_ingest_batch", latencies.clone());
+            format!(
+                "{{\"target_batch_qps\": {writer_qps}, \"batch\": {writer_batch}, \
+                 \"batches\": {}, \"events_applied\": {events_applied}, \
+                 \"achieved_events_per_sec\": {:.1}, \"batch_p50_us\": {:.1}, \
+                 \"batch_p99_us\": {:.1}, \"batch_max_us\": {:.1}}}",
+                d.count,
+                *events_applied as f64 / wall.as_secs_f64(),
+                d.p50 as f64 / 1000.0,
+                d.p99 as f64 / 1000.0,
+                d.max as f64 / 1000.0,
+            )
+        }
+        None => "null".to_string(),
+    };
 
     let mut results = String::new();
     for d in digests.iter().chain([&goodput, &overall]) {
@@ -349,7 +424,8 @@ fn main() {
          serving_latency\",\n  \"profile\": \"release\",\n  \"config\": {{\"target_qps\": {qps}, \
          \"seconds\": {seconds}, \"workers\": {workers}, \"shards\": {shards}, \"arrivals\": \
          \"{mode}\", \"seed\": {seed}, \"users\": {users}, \"max_in_flight\": \
-         {max_in_flight}}},\n  \"achieved_qps\": {achieved:.1},\n  \"goodput_qps\": \
+         {max_in_flight}, \"writer_qps\": {writer_qps}, \"writer_batch\": {writer_batch}}},\n  \
+         \"writer\": {writer_json},\n  \"achieved_qps\": {achieved:.1},\n  \"goodput_qps\": \
          {goodput_qps:.1},\n  \"outcomes\": {{\"served\": {served_count}, \"shed\": {shed}, \
          \"deadline_rejected\": {deadline_rejected}}},\n  \"server_counters\": \
          {{\"frames_served\": {frames_served}, \"sheds\": {srv_sheds}, \"dedup_hits\": \
@@ -387,4 +463,13 @@ fn main() {
         goodput.p999 as f64 / 1000.0,
         goodput.max as f64 / 1_000_000.0,
     );
+    if let Some((latencies, events_applied)) = &writer_report {
+        eprintln!(
+            "[serving_latency] writers: {} ingest_batch calls ({} events, {:.0} events/s) \
+             concurrent with the read mix",
+            latencies.len(),
+            events_applied,
+            *events_applied as f64 / wall.as_secs_f64(),
+        );
+    }
 }

@@ -203,54 +203,46 @@ impl Experiment {
         message: &spa_core::messaging::AssignedMessage,
     ) -> SparseVec {
         let base = self.mask(spa.advice_row(user).unwrap_or_else(|_| SparseVec::zeros(75)));
-        let (max_match, mean_match) = if self.config.mask_emotional {
-            (0.0, 0.0)
-        } else {
-            match spa.registry().get(user) {
-                Some(model) => {
-                    let ids = spa.schema().emotional_ids();
-                    let estimates: Vec<f64> = appeal
-                        .iter()
-                        .map(|e| {
+        // one borrowed read of the user's published model computes every
+        // match feature — no whole-model clone per contact (this runs
+        // inside the per-campaign contact fan-out, so a clone here was
+        // the dominant allocation of the whole experiment)
+        let (max_match, mean_match, assigned_estimate, matched_flag): (f64, f64, f64, f64) =
+            if self.config.mask_emotional {
+                (0.0, 0.0, 0.0, 0.0)
+            } else {
+                spa.registry().with_model_read(user, |model| match model {
+                    Some(model) => {
+                        let ids = spa.schema().emotional_ids();
+                        let estimates = appeal.iter().map(|e| {
                             let attr = ids[e.ordinal()];
                             if model.relevance(attr) > 0.0 {
                                 model.value(attr)
                             } else {
                                 0.0
                             }
-                        })
-                        .collect();
-                    let max = estimates.iter().cloned().fold(0.0, f64::max);
-                    let mean = if estimates.is_empty() {
-                        0.0
-                    } else {
-                        estimates.iter().sum::<f64>() / estimates.len() as f64
-                    };
-                    (max, mean)
-                }
-                None => (0.0, 0.0),
-            }
-        };
-        // the assigned message is known before the send: its appealed
-        // attribute's estimate and a matched/standard flag
-        let (assigned_estimate, matched_flag): (f64, f64) = if self.config.mask_emotional {
-            (0.0, 0.0)
-        } else {
-            match message.attribute {
-                Some(emo) => {
-                    let estimate = spa
-                        .registry()
-                        .get(user)
-                        .map(|m| {
-                            let attr = spa.schema().emotional_ids()[emo.ordinal()];
-                            m.value(attr)
-                        })
-                        .unwrap_or(0.0);
-                    (estimate, 1.0)
-                }
-                None => (0.0, 0.0),
-            }
-        };
+                        });
+                        let (mut max, mut sum, mut count) = (0.0f64, 0.0f64, 0usize);
+                        for estimate in estimates {
+                            max = max.max(estimate);
+                            sum += estimate;
+                            count += 1;
+                        }
+                        let mean = if count == 0 { 0.0 } else { sum / count as f64 };
+                        // the assigned message is known before the send: its
+                        // appealed attribute's estimate and a matched flag
+                        let (estimate, flag) = match message.attribute {
+                            Some(emo) => (model.value(ids[emo.ordinal()]), 1.0),
+                            None => (0.0, 0.0),
+                        };
+                        (max, mean, estimate, flag)
+                    }
+                    None => match message.attribute {
+                        Some(_) => (0.0, 0.0, 0.0, 1.0),
+                        None => (0.0, 0.0, 0.0, 0.0),
+                    },
+                })
+            };
         let match_block = SparseVec::from_pairs(
             4,
             [

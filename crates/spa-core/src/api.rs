@@ -103,6 +103,8 @@ pub enum ApiResponse {
     Stats {
         /// The counters.
         stats: PreprocessorStats,
+        /// Epoch-publication counters for the lock-free read path.
+        publications: crate::epoch::PublicationStats,
     },
     /// Checkpoint written.
     Checkpointed {
@@ -433,7 +435,10 @@ impl SpaApi {
                 .platform
                 .observe_outcome(*user, *responded)
                 .map(|()| ApiResponse::OutcomeRecorded),
-            ApiRequest::Stats => Ok(ApiResponse::Stats { stats: self.platform.stats() }),
+            ApiRequest::Stats => Ok(ApiResponse::Stats {
+                stats: self.platform.stats(),
+                publications: self.platform.publication_stats(),
+            }),
             ApiRequest::Checkpoint => {
                 self.platform.checkpoint().map(|report| ApiResponse::Checkpointed {
                     shards: report.positions.len() as u32,

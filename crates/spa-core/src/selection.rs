@@ -18,6 +18,11 @@ use spa_ml::{Classifier, Dataset, OnlineLearner};
 use spa_types::{Result, SpaError, UserId};
 
 /// SVM-backed propensity ranker.
+///
+/// `Clone` is part of the serving contract: [`crate::shard::ShardedSpa`]
+/// keeps a writer-side master and epoch-publishes a clone after every
+/// training step, so scoring reads never take a selection lock.
+#[derive(Clone)]
 pub struct SelectionFunction {
     svm: LinearSvm,
     dim: usize,

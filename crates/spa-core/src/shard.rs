@@ -287,18 +287,49 @@ impl RoutingScratch {
     }
 }
 
+/// Writer-master + epoch-published snapshot of the global selection
+/// function. Writers ([`ShardedSpa::observe_outcome`],
+/// [`ShardedSpa::train_selection`], recovery replay) mutate the master
+/// under its mutex — the WAL append shares that hold, so log order is
+/// apply order — and then install a cloned snapshot into the published
+/// cell. Readers (scoring/ranking) pin the cell, clone the `Arc` out,
+/// and unpin: **no lock**, so a scoring fan-out proceeds untouched
+/// while an outcome's WAL append holds the master across disk I/O —
+/// previously the single worst read-path stall in the platform.
+struct SelectionCell {
+    master: parking_lot::Mutex<SelectionFunction>,
+    published: crate::epoch::Published<Arc<SelectionFunction>>,
+}
+
+impl SelectionCell {
+    fn new(selection: SelectionFunction) -> Self {
+        Self {
+            published: crate::epoch::Published::new(Arc::new(selection.clone())),
+            master: parking_lot::Mutex::new(selection),
+        }
+    }
+
+    /// The currently published snapshot — one pin, one `Arc` clone.
+    fn snapshot(&self) -> Arc<SelectionFunction> {
+        self.published.read_with(Arc::clone)
+    }
+
+    /// Re-installs the master as the published snapshot. For owned
+    /// construction-time mutation (recovery); runtime writers publish
+    /// under their own master hold.
+    fn republish(&mut self) {
+        let snapshot = Arc::new(self.master.get_mut().clone());
+        self.published.publish(snapshot);
+    }
+}
+
 /// N independent [`Spa`] shards behind one facade, with optional
 /// write-ahead durability through a per-shard [`ShardedEventLog`].
 pub struct ShardedSpa {
     shards: Vec<Spa>,
-    /// The global selection function, behind interior mutability so
-    /// outcome observation and batch training are `&self` like every
-    /// other entry point: readers (scoring) share the lock, writers
-    /// ([`ShardedSpa::observe_outcome`] /
-    /// [`ShardedSpa::train_selection`]) take it exclusively — and the
-    /// WAL append happens under the same exclusive hold, so log order
-    /// is apply order.
-    selection: RwLock<SelectionFunction>,
+    /// The global selection function: a writer-side master plus the
+    /// epoch-published snapshot scoring reads — see [`SelectionCell`].
+    selection: SelectionCell,
     log: Option<ShardedEventLog>,
     /// Root-level WAL for the global selection function (see
     /// [`SELECTION_WAL_DIR`]). Present exactly when `log` is.
@@ -310,12 +341,16 @@ pub struct ShardedSpa {
     io: Arc<dyn StorageIo>,
     /// Routing scratch reused across [`ShardedSpa::ingest_batch`] calls.
     routing: Mutex<RoutingScratch>,
-    /// Per-shard write-pause latches. Every state-mutating entry point
-    /// takes its shard's latch **shared**; [`ShardedSpa::checkpoint`]
-    /// takes it **exclusive** while serializing that shard, so the
-    /// recorded log position and the serialized state agree — and other
-    /// shards keep ingesting meanwhile. Uncontended read acquisition is
-    /// a couple of atomic ops, invisible next to a WAL append.
+    /// Per-shard write-pause latches — **writer-only** machinery. Every
+    /// state-mutating entry point takes its shard's latch **shared**;
+    /// [`ShardedSpa::checkpoint`] takes it **exclusive** while
+    /// serializing that shard, so the recorded log position and the
+    /// serialized state agree — and other shards keep ingesting
+    /// meanwhile. Scoring and ranking never touch this latch (or any
+    /// lock): they read epoch-published model and selection snapshots,
+    /// so a checkpoint effectively captures a pinned epoch while reads
+    /// proceed untouched. Uncontended shared acquisition is a couple of
+    /// atomic ops, invisible next to a WAL append.
     pauses: Vec<RwLock<()>>,
     /// Serializes checkpoint/compaction against each other: both are
     /// `&self` (callable from concurrent owners of an `Arc`), and the
@@ -337,7 +372,7 @@ impl ShardedSpa {
         let shards = (0..shards).map(|_| Spa::new(courses, config.clone())).collect();
         Ok(Self {
             shards,
-            selection: RwLock::new(selection),
+            selection: SelectionCell::new(selection),
             log: None,
             selection_log: None,
             io: real_io(),
@@ -579,7 +614,7 @@ impl ShardedSpa {
         let schema = AttributeSchema::emagister();
         let mut sharded = Self {
             shards: Vec::with_capacity(shards),
-            selection: RwLock::new(SelectionFunction::with_imbalance(
+            selection: SelectionCell::new(SelectionFunction::with_imbalance(
                 schema.len(),
                 config.positive_weight,
             )),
@@ -630,7 +665,8 @@ impl ShardedSpa {
         if selection_path.exists() {
             if let Ok(snap) = Snapshot::read_with(&selection_path, io.clone()) {
                 if let Some(bytes) = snap.section(SECTION_SELECTION) {
-                    selection_restored = sharded.selection.get_mut().restore_state(bytes).is_ok();
+                    selection_restored =
+                        sharded.selection.master.get_mut().restore_state(bytes).is_ok();
                     if selection_restored {
                         selection_replay_from = Some(snap.position());
                     }
@@ -654,7 +690,7 @@ impl ShardedSpa {
         }
         if let Some(from) = selection_replay_from {
             if selection_dir.exists() {
-                let selection = sharded.selection.get_mut();
+                let selection = sharded.selection.master.get_mut();
                 let mut iter = EventLog::replay_iter_from_with(&selection_dir, from, io.clone())?;
                 for event in iter.by_ref() {
                     let event = event?;
@@ -680,6 +716,10 @@ impl ShardedSpa {
                 }
             }
         }
+        // the master was restored/replayed through `get_mut` (recovery
+        // is single-threaded, no publishes happened) — push the final
+        // state into the published slot before the platform goes live
+        sharded.selection.republish();
         sharded.log =
             Some(ShardedEventLog::open_existing_with_io(root, log_config.clone(), io.clone())?);
         sharded.selection_log = Some(EventLog::open_with_io(&selection_dir, log_config, io)?);
@@ -771,13 +811,13 @@ impl ShardedSpa {
             return Err(join_shard_errors(errors));
         }
         // global selection weights, anchored to the selection-WAL
-        // position they reflect (the read guard excludes concurrent
+        // position they reflect (holding the master excludes concurrent
         // observe_outcome appends, so position and weights agree);
         // recovery restores the weights and replays only the outcomes
         // logged after this position. As with the shards, the covered
         // prefix is fsynced before the snapshot lands.
         let (selection_position, selection_state) = {
-            let selection = self.selection.read();
+            let selection = self.selection.master.lock();
             let position =
                 self.selection_log.as_ref().map(|l| l.buffered_position()).unwrap_or_default();
             let mut state = Vec::new();
@@ -886,10 +926,22 @@ impl ShardedSpa {
 
     /// The global selection function (one model for the whole
     /// population; per-shard selection functions stay dormant). Returns
-    /// a read guard — drop it promptly, a concurrent
-    /// [`ShardedSpa::observe_outcome`] blocks on it.
-    pub fn selection(&self) -> parking_lot::RwLockReadGuard<'_, SelectionFunction> {
-        self.selection.read()
+    /// the most recently published snapshot — taking it never blocks,
+    /// and holding it never blocks a concurrent
+    /// [`ShardedSpa::observe_outcome`] or [`ShardedSpa::train_selection`].
+    pub fn selection(&self) -> Arc<SelectionFunction> {
+        self.selection.snapshot()
+    }
+
+    /// Epoch-publication counters: how many model snapshots the shard
+    /// registries have installed (one per touched user per write
+    /// section) and how many selection snapshots writers have
+    /// published. Monotonic; serves the stats endpoint.
+    pub fn publication_stats(&self) -> crate::epoch::PublicationStats {
+        crate::epoch::PublicationStats {
+            model_publishes: self.shards.iter().map(|s| s.registry().model_publishes()).sum(),
+            selection_publishes: self.selection.published.publish_count(),
+        }
     }
 
     fn owner(&self, user: UserId) -> &Spa {
@@ -1077,8 +1129,11 @@ impl ShardedSpa {
         // maintenance excludes checkpoint/compact — the snapshot write
         // below must not race a concurrent checkpoint's
         let _maintenance = self.maintenance.lock();
-        let mut selection = self.selection.write();
+        let mut selection = self.selection.master.lock();
         selection.fit(data)?;
+        // publish before the snapshot I/O: readers see the fitted
+        // weights as soon as the fit lands, not after the disk write
+        self.selection.published.publish(Arc::new(selection.clone()));
         if let (Some(log), Some(selection_log)) = (&self.log, &self.selection_log) {
             let position = selection_log.buffered_position();
             let mut state = Vec::new();
@@ -1104,13 +1159,14 @@ impl ShardedSpa {
     /// the row from recovered SUM state could diverge if the user's
     /// model moved between this outcome and the crash. The append and
     /// the weight update share one exclusive hold of the selection
-    /// lock, so log order is apply order.
+    /// master, so log order is apply order; the updated weights are
+    /// published for readers before the call returns.
     pub fn observe_outcome(&self, user: UserId, responded: bool) -> Result<()> {
         let owner = self.owner(user);
-        // the advice row is captured under the registry read lock and
-        // released before the selection lock is taken: scoring holds
-        // selection → registry, so holding both here in the opposite
-        // order could deadlock
+        // the advice row is captured from the user's published model
+        // snapshot before the selection master is taken — readers never
+        // hold locks, so no lock-order concern remains, but capturing
+        // first keeps the master hold as short as the update itself
         let event = owner.registry().with_model_read(user, |model| -> Result<LifeLogEvent> {
             let model = model.ok_or(SpaError::UnknownUser(user))?;
             let mut scratch = spa_linalg::RowScratch::new(model.dim());
@@ -1126,14 +1182,16 @@ impl ShardedSpa {
                 },
             ))
         })?;
-        let mut selection = self.selection.write();
+        let mut selection = self.selection.master.lock();
         if let Some(selection_log) = &self.selection_log {
             selection_log.append(&event)?;
         }
         let EventKind::OutcomeObserved { responded, dim, indices, values } = &event.kind else {
             unreachable!("constructed above");
         };
-        selection.partial_fit_view(RowView::new(*dim as usize, indices, values), *responded)
+        selection.partial_fit_view(RowView::new(*dim as usize, indices, values), *responded)?;
+        self.selection.published.publish(Arc::new(selection.clone()));
+        Ok(())
     }
 
     /// Batch propensity scoring in **input order**: each shard scores
@@ -1148,10 +1206,11 @@ impl ShardedSpa {
         for (position, &user) in users.iter().enumerate() {
             by_shard[shard_index(user, self.shards.len())].push(position);
         }
-        // one read acquisition for the whole fan-out: every shard
-        // scores against the same pinned weights (a concurrent
-        // observe_outcome waits rather than mutating mid-batch)
-        let selection = self.selection.read();
+        // one snapshot for the whole fan-out: every shard scores
+        // against the same published weights (a concurrent
+        // observe_outcome publishes a new snapshot instead of mutating
+        // this one, and never waits on the scorers)
+        let selection = self.selection.snapshot();
         let score_shard = |index: usize| -> Result<Vec<(usize, f64)>> {
             by_shard[index]
                 .iter()
@@ -1195,7 +1254,7 @@ impl ShardedSpa {
         for (position, &user) in users.iter().enumerate() {
             by_shard[shard_index(user, self.shards.len())].push(position);
         }
-        let selection = self.selection.read();
+        let selection = self.selection.snapshot();
         let top_of_shard = |index: usize| -> Result<Vec<(UserId, f64)>> {
             let mut scored = by_shard[index]
                 .iter()

@@ -17,13 +17,16 @@
 //!    recommendation reinforces the attributes its message appealed to;
 //!    ignoring it weakens them.
 
+use crate::epoch::{AtomicIndex, Published};
 use crate::fastmap::FastIdMap;
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 use spa_linalg::{RowScratch, RowView, SparseVec};
 use spa_store::{ProfileStore, UserProfile};
 use spa_types::{
     AttributeId, AttributeKind, AttributeSchema, Result, SpaError, Timestamp, UserId, Valence,
 };
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Precomputed per-attribute advice coefficients.
 ///
@@ -365,12 +368,54 @@ impl SmartUserModel {
     }
 }
 
+/// One user's writer-side registry entry: the **master** copy every
+/// mutation applies to in place (the same cheap update path the locked
+/// registry had), plus the reader-visible epoch-published cell a
+/// snapshot of the master is installed into whenever a locked section
+/// ends with the master changed.
+struct Entry {
+    master: SmartUserModel,
+    /// `master.updates()` at the last publication — the epoch deciding
+    /// whether a section end needs to republish.
+    published_updates: u64,
+    /// Already queued in the current section's dirty list.
+    pending: bool,
+    /// The cell readers pin. Boxed so its address survives map growth;
+    /// entries are never removed, which is what lets the lock-free
+    /// index hand out references to it (see [`AtomicIndex`]).
+    cell: Box<Published<SmartUserModel>>,
+}
+
+/// Writer-side state of one registry shard, behind the shard's writer
+/// mutex. Readers never touch this — they go through the shard's
+/// [`AtomicIndex`] straight to the published cells.
+#[derive(Default)]
+struct ShardState {
+    entries: FastIdMap<Entry>,
+    /// Users touched by the current locked section; drained (and
+    /// published) when the section ends. Lives here so per-event ingest
+    /// stays allocation-free.
+    dirty: Vec<u32>,
+}
+
+struct RegistryShard {
+    state: Mutex<ShardState>,
+    index: AtomicIndex<Published<SmartUserModel>>,
+}
+
+impl RegistryShard {
+    fn new() -> Self {
+        Self { state: Mutex::new(ShardState::default()), index: AtomicIndex::new() }
+    }
+}
+
 /// A write handle to one user's slot in a locked registry shard (see
 /// [`SumRegistry::with_model_slot`]): the model materializes on first
 /// [`ModelSlot::get_or_create`], never as a side effect of merely
 /// holding the slot.
 pub struct ModelSlot<'a> {
-    map: &'a mut FastIdMap<SmartUserModel>,
+    state: &'a mut ShardState,
+    index: &'a AtomicIndex<Published<SmartUserModel>>,
     user: UserId,
     dim: usize,
 }
@@ -381,17 +426,36 @@ impl ModelSlot<'_> {
         self.user
     }
 
-    /// Borrows the user's model, creating an empty one on first touch.
+    /// Borrows the user's **master** model, creating an empty one on
+    /// first touch. Mutations apply to the master only; readers keep
+    /// seeing the previously published snapshot until the enclosing
+    /// locked section ends and publishes.
     #[inline]
     pub fn get_or_create(&mut self) -> &mut SmartUserModel {
-        self.map.entry(self.user.raw()).or_insert_with(|| SmartUserModel::new(self.user, self.dim))
+        let ShardState { entries, dirty } = &mut *self.state;
+        let (user, dim, index) = (self.user, self.dim, self.index);
+        let entry = entries.entry(user.raw()).or_insert_with(|| {
+            let master = SmartUserModel::new(user, dim);
+            let cell = Box::new(Published::new(master.clone()));
+            // the cell enters the lock-free index immediately: readers
+            // may observe the fresh (empty) model from here on, which
+            // is exactly what the locked registry exposed too
+            index.insert(user.raw(), NonNull::from(&*cell));
+            Entry { master, published_updates: 0, pending: false, cell }
+        });
+        if !entry.pending {
+            entry.pending = true;
+            dirty.push(user.raw());
+        }
+        &mut entry.master
     }
 }
 
 /// Slot factory over one locked registry shard (see
 /// [`SumRegistry::with_shard_models`]).
 pub(crate) struct ShardModels<'a> {
-    map: &'a mut FastIdMap<SmartUserModel>,
+    state: &'a mut ShardState,
+    index: &'a AtomicIndex<Published<SmartUserModel>>,
     dim: usize,
     shard_index: usize,
 }
@@ -401,16 +465,31 @@ impl ShardModels<'_> {
     #[inline]
     pub(crate) fn slot(&mut self, user: UserId) -> ModelSlot<'_> {
         debug_assert_eq!(SumRegistry::shard_index_of(user), self.shard_index);
-        ModelSlot { map: self.map, user, dim: self.dim }
+        ModelSlot { state: self.state, index: self.index, user, dim: self.dim }
     }
 }
 
 /// Concurrent registry of SUMs for a whole population, persistable via
 /// [`spa_store::ProfileStore`] snapshots.
+///
+/// **Epoch-published, lock-free reads.** Internally each of the 32
+/// shards keeps a writer-side master map behind a mutex *and* a
+/// reader-side [`AtomicIndex`] of [`Published`] model cells. Writers
+/// mutate masters in place under the shard mutex and, when their locked
+/// section ends, install one snapshot per touched user into that user's
+/// cell (`clone_from` into the retired slot — allocation-free once
+/// warm). Readers ([`SumRegistry::with_model_read`],
+/// [`SumRegistry::get`]) resolve the user through the index and pin the
+/// cell — **no lock, ever**: a scoring sweep proceeds untouched through
+/// concurrent `ingest_batch`, checkpoint and compaction. A reader sees
+/// each user's model exactly as it stood at some section boundary —
+/// never a torn intermediate — because publication is all-or-nothing
+/// per cell.
 pub struct SumRegistry {
     dim: usize,
     config: SumConfig,
-    shards: Vec<RwLock<FastIdMap<SmartUserModel>>>,
+    shards: Vec<RegistryShard>,
+    publishes: AtomicU64,
 }
 
 const SHARDS: usize = 32;
@@ -421,7 +500,8 @@ impl SumRegistry {
         Self {
             dim,
             config,
-            shards: (0..SHARDS).map(|_| RwLock::new(FastIdMap::default())).collect(),
+            shards: (0..SHARDS).map(|_| RegistryShard::new()).collect(),
+            publishes: AtomicU64::new(0),
         }
     }
 
@@ -435,13 +515,52 @@ impl SumRegistry {
         self.dim
     }
 
-    fn shard(&self, user: UserId) -> &RwLock<FastIdMap<SmartUserModel>> {
+    fn shard(&self, user: UserId) -> &RegistryShard {
         &self.shards[user.raw() as usize % SHARDS]
+    }
+
+    /// Publishes every master the just-ended section mutated, one
+    /// whole-model snapshot per touched user. Runs with the shard
+    /// writer mutex still held, so a single-threaded caller observes
+    /// its own writes immediately and publications are section-atomic
+    /// per user.
+    fn flush_dirty(&self, state: &mut ShardState) {
+        let ShardState { entries, dirty } = state;
+        let mut published = 0u64;
+        for key in dirty.drain(..) {
+            let entry = entries.get_mut(&key).expect("dirty user exists");
+            entry.pending = false;
+            if entry.master.updates != entry.published_updates {
+                let master = &entry.master;
+                entry.cell.publish_with(|slot| match slot {
+                    // clone into the retired slot's buffers: no
+                    // allocation once both slots are warm
+                    Some(spare) => {
+                        spare.user = master.user;
+                        spare.cells.clone_from(&master.cells);
+                        spare.eit_answers = master.eit_answers;
+                        spare.updates = master.updates;
+                    }
+                    None => *slot = Some(master.clone()),
+                });
+                entry.published_updates = entry.master.updates;
+                published += 1;
+            }
+        }
+        if published > 0 {
+            self.publishes.fetch_add(published, Ordering::Relaxed);
+        }
+    }
+
+    /// How many model snapshots have been published so far (monotone) —
+    /// the write half of the epoch machinery, surfaced for stats.
+    pub fn model_publishes(&self) -> u64 {
+        self.publishes.load(Ordering::Relaxed)
     }
 
     /// Number of models stored.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.state.lock().entries.len()).sum()
     }
 
     /// True when no models are stored.
@@ -449,9 +568,11 @@ impl SumRegistry {
         self.len() == 0
     }
 
-    /// Clones the model for `user`, if present.
+    /// Clones the model for `user`, if present — the published
+    /// snapshot, which for a quiescent registry equals the master
+    /// bit-for-bit.
     pub fn get(&self, user: UserId) -> Option<SmartUserModel> {
-        self.shard(user).read().get(&user.raw()).cloned()
+        self.with_model_read(user, |model| model.cloned())
     }
 
     /// Applies `f` to the model for `user`, creating it when absent.
@@ -460,9 +581,7 @@ impl SumRegistry {
         user: UserId,
         f: impl FnOnce(&mut SmartUserModel, &SumConfig) -> T,
     ) -> T {
-        let mut shard = self.shard(user).write();
-        let model = shard.entry(user.raw()).or_insert_with(|| SmartUserModel::new(user, self.dim));
-        f(model, &self.config)
+        self.with_model_slot(user, |slot, config| f(slot.get_or_create(), config))
     }
 
     /// Applies `f` to a **lazily materializing** handle for `user`'s
@@ -478,9 +597,15 @@ impl SumRegistry {
         user: UserId,
         f: impl FnOnce(&mut ModelSlot, &SumConfig) -> T,
     ) -> T {
-        let mut shard = self.shard(user).write();
-        let mut slot = ModelSlot { map: &mut shard, user, dim: self.dim };
-        f(&mut slot, &self.config)
+        let shard = self.shard(user);
+        let mut state = shard.state.lock();
+        let result = {
+            let mut slot =
+                ModelSlot { state: &mut state, index: &shard.index, user, dim: self.dim };
+            f(&mut slot, &self.config)
+        };
+        self.flush_dirty(&mut state);
+        result
     }
 
     /// Number of internal registry shards (stable: the batched ingest
@@ -507,41 +632,84 @@ impl SumRegistry {
         shard_index: usize,
         f: impl FnOnce(&mut ShardModels, &SumConfig) -> T,
     ) -> T {
-        let mut shard = self.shards[shard_index].write();
-        let mut models = ShardModels { map: &mut shard, dim: self.dim, shard_index };
-        f(&mut models, &self.config)
+        let shard = &self.shards[shard_index];
+        let mut state = shard.state.lock();
+        let result = {
+            let mut models =
+                ShardModels { state: &mut state, index: &shard.index, dim: self.dim, shard_index };
+            f(&mut models, &self.config)
+        };
+        self.flush_dirty(&mut state);
+        result
     }
 
-    /// Applies `f` to a *borrowed* model under the shard read lock —
-    /// the clone-free counterpart of [`SumRegistry::get`] for hot read
-    /// paths (`None` when the user has no model). Keep `f` short: it
-    /// runs with the shard read-locked.
+    /// Applies `f` to a *borrowed* model — the clone-free counterpart
+    /// of [`SumRegistry::get`] for hot read paths (`None` when the user
+    /// has no model). **Lock-free**: the user resolves through the
+    /// shard's atomic index and the model is the pinned published
+    /// snapshot, so this never waits on ingest, checkpoint or any
+    /// other writer. Holding the pin only delays the *second-next*
+    /// publication of this one user's cell; keep `f` short anyway.
     pub fn with_model_read<T>(
         &self,
         user: UserId,
         f: impl FnOnce(Option<&SmartUserModel>) -> T,
     ) -> T {
-        let shard = self.shard(user).read();
-        f(shard.get(&user.raw()))
+        match self.shard(user).index.get(user.raw()) {
+            Some(cell) => {
+                let pinned = cell.pin();
+                f(Some(&pinned))
+            }
+            None => f(None),
+        }
     }
 
     /// Inserts (or replaces) a fully materialized model — the snapshot
     /// restore path, which rebuilds models from checkpoint bytes rather
-    /// than replaying their update history.
+    /// than replaying their update history. Publishes unconditionally:
+    /// a restored model may carry the same update counter as the entry
+    /// it replaces while differing in content.
     pub(crate) fn insert_model(&self, model: SmartUserModel) {
         debug_assert_eq!(model.dim(), self.dim, "model dimension must match the registry");
-        self.shard(model.user).write().insert(model.user.raw(), model);
+        let shard = self.shard(model.user);
+        let mut state = shard.state.lock();
+        match state.entries.get_mut(&model.user.raw()) {
+            Some(entry) => {
+                entry.published_updates = model.updates;
+                entry.master = model;
+                let master = &entry.master;
+                entry.cell.publish_with(|slot| match slot {
+                    Some(spare) => {
+                        spare.user = master.user;
+                        spare.cells.clone_from(&master.cells);
+                        spare.eit_answers = master.eit_answers;
+                        spare.updates = master.updates;
+                    }
+                    None => *slot = Some(master.clone()),
+                });
+            }
+            None => {
+                let cell = Box::new(Published::new(model.clone()));
+                shard.index.insert(model.user.raw(), NonNull::from(&*cell));
+                let published_updates = model.updates;
+                state.entries.insert(
+                    model.user.raw(),
+                    Entry { master: model, published_updates, pending: false, cell },
+                );
+            }
+        }
+        self.publishes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Sorted user ids present in the registry. Collected with one
-    /// reservation + extend per shard read lock — no intermediate
-    /// per-shard `Vec`s.
+    /// reservation + extend per shard lock — no intermediate per-shard
+    /// `Vec`s.
     pub fn user_ids(&self) -> Vec<UserId> {
         let mut ids: Vec<UserId> = Vec::new();
         for shard in &self.shards {
-            let guard = shard.read();
-            ids.reserve(guard.len());
-            ids.extend(guard.keys().map(|&k| UserId::new(k)));
+            let guard = shard.state.lock();
+            ids.reserve(guard.entries.len());
+            ids.extend(guard.entries.keys().map(|&k| UserId::new(k)));
         }
         ids.sort_unstable();
         ids
@@ -696,7 +864,7 @@ impl SumRegistry {
                 *slot = c as u32;
             }
             let model = SmartUserModel { user, cells, eit_answers, updates: profile.updates };
-            registry.shard(user).write().insert(user.raw(), model);
+            registry.insert_model(model);
         });
         match error {
             Some(e) => Err(e),

@@ -25,7 +25,7 @@
 
 use bytes::{Buf, BufMut, BytesMut};
 use spa_core::preprocessor::PreprocessorStats;
-use spa_core::{ApiRequest, ApiResponse, RecoverStatus, RequestEnvelope};
+use spa_core::{ApiRequest, ApiResponse, PublicationStats, RecoverStatus, RequestEnvelope};
 use spa_store::codec::{crc32, decode_event_slice, encode_event, MAX_PAYLOAD};
 use spa_types::{Result, SpaError, UserId};
 use std::io::{self, Read, Write};
@@ -207,7 +207,7 @@ pub fn encode_response(response: &ApiResponse, out: &mut BytesMut) {
             out.put_u64_le(*applied);
         }
         ApiResponse::OutcomeRecorded => out.put_u8(RESP_OUTCOME),
-        ApiResponse::Stats { stats } => {
+        ApiResponse::Stats { stats, publications } => {
             out.put_u8(RESP_STATS);
             out.put_u64_le(stats.actions);
             out.put_u64_le(stats.transactions);
@@ -217,6 +217,8 @@ pub fn encode_response(response: &ApiResponse, out: &mut BytesMut) {
             out.put_u64_le(stats.opens);
             out.put_u64_le(stats.objective_imports);
             out.put_u64_le(stats.punishments);
+            out.put_u64_le(publications.model_publishes);
+            out.put_u64_le(publications.selection_publishes);
         }
         ApiResponse::Checkpointed { shards, snapshot_bytes } => {
             out.put_u8(RESP_CHECKPOINTED);
@@ -280,7 +282,7 @@ pub fn decode_response(payload: &[u8]) -> Result<ApiResponse> {
         }
         RESP_OUTCOME => ApiResponse::OutcomeRecorded,
         RESP_STATS => {
-            need(&buf, 64, "stats counters")?;
+            need(&buf, 80, "stats counters")?;
             ApiResponse::Stats {
                 stats: PreprocessorStats {
                     actions: buf.get_u64_le(),
@@ -291,6 +293,10 @@ pub fn decode_response(payload: &[u8]) -> Result<ApiResponse> {
                     opens: buf.get_u64_le(),
                     objective_imports: buf.get_u64_le(),
                     punishments: buf.get_u64_le(),
+                },
+                publications: PublicationStats {
+                    model_publishes: buf.get_u64_le(),
+                    selection_publishes: buf.get_u64_le(),
                 },
             }
         }

@@ -54,7 +54,7 @@ fn ingest(user: u32, at: u64) -> ApiRequest {
 
 fn transactions(client: &mut SpaClient) -> u64 {
     match client.call(&ApiRequest::Stats).unwrap() {
-        ApiResponse::Stats { stats } => stats.transactions,
+        ApiResponse::Stats { stats, .. } => stats.transactions,
         other => panic!("expected stats, got {other:?}"),
     }
 }

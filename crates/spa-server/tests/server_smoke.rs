@@ -250,7 +250,7 @@ fn concurrent_clients_are_served_consistently() {
     // all writes from all clients landed exactly once
     let mut client = SpaClient::connect(addr).unwrap();
     match client.call(&ApiRequest::Stats).unwrap() {
-        ApiResponse::Stats { stats } => {
+        ApiResponse::Stats { stats, .. } => {
             let per_thread = (0..50).filter(|s| s % 3 != 0).count() as u64;
             assert_eq!(stats.transactions, 8 * per_thread);
         }

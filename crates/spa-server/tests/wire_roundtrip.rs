@@ -4,7 +4,7 @@
 
 use bytes::BytesMut;
 use spa_core::preprocessor::PreprocessorStats;
-use spa_core::{ApiRequest, ApiResponse, RecoverStatus, RequestEnvelope};
+use spa_core::{ApiRequest, ApiResponse, PublicationStats, RecoverStatus, RequestEnvelope};
 use spa_server::wire::{
     decode_enveloped_request, decode_enveloped_response, decode_request, decode_request_envelope,
     decode_response, encode_enveloped_request, encode_enveloped_response, encode_request,
@@ -81,6 +81,7 @@ fn sample_responses() -> Vec<ApiResponse> {
                 objective_imports: 7,
                 punishments: 8,
             },
+            publications: PublicationStats { model_publishes: 9, selection_publishes: 10 },
         },
         ApiResponse::Checkpointed { shards: 3, snapshot_bytes: 4096 },
         ApiResponse::Compacted {

@@ -1,0 +1,297 @@
+//! Reads racing writes on the epoch-published model path.
+//!
+//! Scoring no longer takes any lock: readers pin the current published
+//! snapshot of each model and of the selection function. These tests
+//! pin down the two guarantees that replace lock-based consistency:
+//!
+//! 1. **Prefix validity** — every score a concurrent reader observes is
+//!    bit-identical to the score a serial locked reference computes at
+//!    *some* prefix of the applied event stream (never a torn or
+//!    half-applied state), and the final states agree exactly.
+//! 2. **Liveness** — scoring proceeds while a checkpoint is mid-flight:
+//!    a full score sweep starts and completes strictly inside a single
+//!    `checkpoint()` call, with concurrent ingest running too.
+
+use proptest::prelude::*;
+use spa::prelude::*;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const N_USERS: u32 = 8;
+const SHARDS: usize = 4;
+const REGISTERED: CampaignId = CampaignId::new(1);
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_root() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "spa-read-write-overlap-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Raw generator tuple: (user, kind selector, id payload, small
+/// payload, valence) — same accept/reject surface as the ingest
+/// fast-path proptests.
+type RawOp = (u32, u8, u32, u8, f64);
+
+fn decode_op(at: u64, op: &RawOp) -> LifeLogEvent {
+    let (user_seed, kind_sel, a, b, valence) = *op;
+    let user = UserId::new(user_seed % N_USERS);
+    let kind = match kind_sel % 6 {
+        0 | 1 => EventKind::Action {
+            action: ActionId::new(a % 984),
+            course: if b % 3 == 0 { None } else { Some(CourseId::new(a % 25)) },
+        },
+        2 => EventKind::Rating { course: CourseId::new(a % 25), stars: b % 6 },
+        3 => EventKind::Transaction {
+            course: CourseId::new(a % 25),
+            campaign: if b % 2 == 0 { Some(REGISTERED) } else { None },
+        },
+        4 => EventKind::EitAnswer {
+            question: QuestionId::new(a % 40),
+            answer: Valence::new(valence),
+        },
+        _ => EventKind::MessageOpened { campaign: REGISTERED },
+    };
+    LifeLogEvent::new(user, Timestamp::from_millis(at), kind)
+}
+
+fn users() -> Vec<UserId> {
+    (0..N_USERS).map(UserId::new).collect()
+}
+
+/// A platform with every user's model pre-created (so scoring never
+/// hits `UnknownUser` mid-race) and the campaign registered.
+fn seeded(courses: &CourseCatalog) -> ShardedSpa {
+    let sharded = ShardedSpa::new(courses, SpaConfig::default(), SHARDS).unwrap();
+    sharded.register_campaign(REGISTERED, &[EmotionalAttribute::Hopeful]);
+    for raw in 0..N_USERS {
+        sharded
+            .ingest(&LifeLogEvent::new(
+                UserId::new(raw),
+                Timestamp::from_millis(raw as u64),
+                EventKind::Action {
+                    action: ActionId::new(raw % 984),
+                    course: Some(CourseId::new(raw % 25)),
+                },
+            ))
+            .unwrap();
+    }
+    sharded
+}
+
+fn training_data(reference: &ShardedSpa, users: &[UserId]) -> Dataset {
+    let mut data = Dataset::new(75);
+    for &user in users {
+        let row = reference.advice_row(user).unwrap();
+        data.push(&row, if user.raw() % 2 == 0 { 1.0 } else { -1.0 }).unwrap();
+    }
+    data
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Concurrent readers racing a serial writer only ever observe
+    /// scores the locked serial reference produces at some event
+    /// prefix — snapshots are whole models, never torn state — and the
+    /// final scores are bit-identical to the reference's.
+    #[test]
+    fn concurrent_reads_observe_only_event_prefix_states(
+        raw in proptest::collection::vec(
+            (0u32..N_USERS, 0u8..6, 0u32..10_000, 0u8..250, -1.0f64..1.0),
+            20..80,
+        ),
+    ) {
+        let courses = CourseCatalog::generate(25, 5, 3).unwrap();
+        let stream: Vec<LifeLogEvent> =
+            raw.iter().enumerate().map(|(i, op)| decode_op(1_000 + i as u64, op)).collect();
+        let users = users();
+
+        // serial reference: apply one event at a time, collecting the
+        // set of valid score bit-patterns per user at every prefix
+        let reference = seeded(&courses);
+        let data = training_data(&reference, &users);
+        reference.train_selection(&data).unwrap();
+        let mut valid: Vec<HashSet<u64>> = vec![HashSet::new(); N_USERS as usize];
+        for (user, score) in reference.score_users(&users).unwrap() {
+            valid[user.raw() as usize].insert(score.to_bits());
+        }
+        for event in &stream {
+            let _ = reference.ingest(event); // rejections are deterministic
+            for (user, score) in reference.score_users(&users).unwrap() {
+                valid[user.raw() as usize].insert(score.to_bits());
+            }
+        }
+
+        // the race: identical platform, serial writer thread, two
+        // reader threads sweeping scores the whole time
+        let live = seeded(&courses);
+        live.train_selection(&data).unwrap();
+        let done = AtomicBool::new(false);
+        let observations: Vec<Vec<(u32, u64)>> = std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut seen = Vec::new();
+                        loop {
+                            let stop = done.load(Ordering::Acquire);
+                            for (user, score) in live.score_users(&users).unwrap() {
+                                seen.push((user.raw(), score.to_bits()));
+                            }
+                            if stop {
+                                break;
+                            }
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            for event in &stream {
+                let _ = live.ingest(event);
+            }
+            done.store(true, Ordering::Release);
+            readers.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for seen in &observations {
+            prop_assert!(!seen.is_empty(), "reader made no observations");
+            for &(user, bits) in seen {
+                prop_assert!(
+                    valid[user as usize].contains(&bits),
+                    "user {user} observed score {:?} that matches no event prefix",
+                    f64::from_bits(bits),
+                );
+            }
+        }
+        // final states agree bit-for-bit with the serial reference
+        let final_live = live.score_users(&users).unwrap();
+        let final_reference = reference.score_users(&users).unwrap();
+        for ((u_l, s_l), (u_r, s_r)) in final_live.iter().zip(final_reference.iter()) {
+            prop_assert_eq!(u_l, u_r);
+            prop_assert!(
+                s_l.to_bits() == s_r.to_bits(),
+                "final score diverges for {}: {:?} vs {:?}", u_l, s_l, s_r,
+            );
+        }
+    }
+}
+
+/// Scoring proceeds while a checkpoint is mid-flight on a durable
+/// platform with live ingest: at least one full score sweep starts and
+/// completes strictly *inside* a single `checkpoint()` call (the old
+/// write-pause latch would have been a read-side wait here), and no
+/// sweep ever stalls past a generous per-call budget.
+#[test]
+fn scoring_never_blocks_across_a_checkpoint() {
+    let courses = CourseCatalog::generate(25, 5, 3).unwrap();
+    let root = tmp_root();
+    let sharded =
+        ShardedSpa::with_log(&courses, SpaConfig::default(), SHARDS, &root, LogConfig::default())
+            .unwrap();
+    sharded.register_campaign(REGISTERED, &[EmotionalAttribute::Hopeful]);
+    // a real population so each checkpoint serializes enough state to
+    // give the sweeps a window to land in
+    let population: Vec<UserId> = (0..600).map(UserId::new).collect();
+    for &user in &population {
+        sharded
+            .ingest(&LifeLogEvent::new(
+                user,
+                Timestamp::from_millis(user.raw() as u64),
+                EventKind::Action {
+                    action: ActionId::new(user.raw() % 984),
+                    course: Some(CourseId::new(user.raw() % 25)),
+                },
+            ))
+            .unwrap();
+    }
+    let sweep: Vec<UserId> = population[..32].to_vec();
+    let data = {
+        let mut data = Dataset::new(75);
+        for &user in &sweep {
+            let row = sharded.advice_row(user).unwrap();
+            data.push(&row, if user.raw() % 2 == 0 { 1.0 } else { -1.0 }).unwrap();
+        }
+        data
+    };
+    sharded.train_selection(&data).unwrap();
+
+    let started = AtomicU64::new(0);
+    let finished = AtomicU64::new(0);
+    let proven = AtomicBool::new(false);
+    let done = AtomicBool::new(false);
+    let deadline = Instant::now() + Duration::from_secs(20);
+
+    std::thread::scope(|scope| {
+        // maintenance: checkpoint (and periodically compact) until a
+        // reader proves an in-checkpoint sweep or the deadline passes
+        scope.spawn(|| {
+            let mut rounds = 0u64;
+            while !proven.load(Ordering::Acquire) && Instant::now() < deadline {
+                started.fetch_add(1, Ordering::SeqCst);
+                sharded.checkpoint().unwrap();
+                finished.fetch_add(1, Ordering::SeqCst);
+                rounds += 1;
+                if rounds.is_multiple_of(3) {
+                    sharded.compact().unwrap();
+                }
+            }
+            done.store(true, Ordering::Release);
+        });
+        // writer: keeps the ingest path hot so the checkpoint latch is
+        // actually contended by writers while reads proceed
+        scope.spawn(|| {
+            let mut at = 1_000_000u64;
+            while !done.load(Ordering::Acquire) {
+                let events: Vec<LifeLogEvent> = (0..64)
+                    .map(|i| {
+                        at += 1;
+                        LifeLogEvent::new(
+                            UserId::new((at % 600) as u32),
+                            Timestamp::from_millis(at),
+                            EventKind::Transaction {
+                                course: CourseId::new((i % 25) as u32),
+                                campaign: Some(REGISTERED),
+                            },
+                        )
+                    })
+                    .collect();
+                sharded.ingest_batch(events.iter()).unwrap();
+            }
+        });
+        // readers: sweep scores; a sweep that begins while checkpoint
+        // #k is in flight and ends before #k finishes ran entirely
+        // inside that checkpoint
+        for _ in 0..2 {
+            scope.spawn(|| {
+                while !done.load(Ordering::Acquire) {
+                    let s0 = started.load(Ordering::SeqCst);
+                    let f0 = finished.load(Ordering::SeqCst);
+                    let begun = Instant::now();
+                    sharded.score_users(&sweep).unwrap();
+                    let elapsed = begun.elapsed();
+                    let f1 = finished.load(Ordering::SeqCst);
+                    assert!(
+                        elapsed < Duration::from_secs(2),
+                        "a score sweep stalled for {elapsed:?} behind maintenance"
+                    );
+                    if s0 > f0 && f1 == f0 {
+                        proven.store(true, Ordering::Release);
+                    }
+                }
+            });
+        }
+    });
+
+    assert!(
+        proven.load(Ordering::Acquire),
+        "no score sweep completed inside a checkpoint window within the deadline"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
